@@ -1,0 +1,105 @@
+// Ablation study of the training-backend design choices DESIGN.md calls
+// out. Two questions:
+//
+//  1. Backend choice vs target sparsity: dense materialization multiplies
+//     through outer-join NULL padding, CSR materialization skips it, and
+//     factorization never materializes it. Sweep the unmatched fraction of
+//     a full outer join and time all three backends on identical GD runs.
+//
+//  2. Fan-out deduplication: the factorized kernels compute once per
+//     *unique source row* and expand through the indicator. The
+//     Morpheus-style reference shares the kernels, so the ablation here
+//     contrasts the factorized path against dense materialization as the
+//     join fan-out grows — the speedup is exactly the deduplication win.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ml/training_matrix.h"
+
+namespace {
+
+using namespace amalur;
+
+double RunSparseMaterialized(const metadata::DiMetadata& metadata,
+                             size_t iterations) {
+  Stopwatch watch;
+  la::DenseMatrix target = metadata.MaterializeTargetMatrix();
+  std::vector<size_t> feature_cols;
+  for (size_t j = 1; j < target.cols(); ++j) feature_cols.push_back(j);
+  ml::SparseMaterializedMatrix features =
+      ml::SparseMaterializedMatrix::FromDense(target.SelectColumns(feature_cols));
+  la::DenseMatrix labels = target.SelectColumns({0});
+  ml::GradientDescentOptions gd;
+  gd.iterations = iterations;
+  gd.learning_rate = 0.05;
+  ml::TrainLinearRegression(features, labels, gd);
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  const size_t kIterations = 20;
+
+  std::printf("=== Ablation 1: backend vs target NULL padding ===\n");
+  std::printf("(full outer join, 20k+20k rows, 20 features/side; the match\n");
+  std::printf("fraction controls how much of T is NULL padding)\n\n");
+  std::printf("%9s %10s %12s %12s %12s\n", "matched", "null frac", "dense (s)",
+              "sparse (s)", "factor. (s)");
+  for (double match : {1.0, 0.5, 0.2, 0.05}) {
+    rel::SiloPairSpec spec;
+    spec.kind = rel::JoinKind::kFullOuterJoin;
+    spec.base_rows = 20000;
+    spec.other_rows = 20000;
+    spec.base_features = 20;
+    spec.other_features = 20;
+    spec.match_fraction = match;
+    spec.row_overlap = match;
+    spec.seed = static_cast<uint64_t>(match * 1000);
+    rel::SiloPair pair = rel::GenerateSiloPair(spec);
+    auto metadata = factorized::DerivePairMetadata(pair);
+    AMALUR_CHECK(metadata.ok()) << metadata.status();
+
+    la::DenseMatrix target = metadata->MaterializeTargetMatrix();
+    size_t zeros = 0;
+    for (size_t i = 0; i < target.size(); ++i) {
+      zeros += target.data()[i] == 0.0 ? 1 : 0;
+    }
+    const double null_fraction =
+        static_cast<double>(zeros) / static_cast<double>(target.size());
+
+    const double dense = bench::RunMaterialized(*metadata, kIterations);
+    const double sparse = RunSparseMaterialized(*metadata, kIterations);
+    const double factorized = bench::RunFactorized(*metadata, kIterations);
+    std::printf("%8.0f%% %10.2f %12.3f %12.3f %12.3f\n", 100 * match,
+                null_fraction, dense, sparse, factorized);
+  }
+
+  std::printf("\n=== Ablation 2: fan-out deduplication win ===\n");
+  std::printf("(left join, rS2=4000, 40 dimension features; fan-out = rS1/rS2)\n\n");
+  std::printf("%8s %12s %12s %9s\n", "fan-out", "dense (s)", "factor. (s)",
+              "speedup");
+  for (size_t fanout : {1, 2, 5, 10, 20}) {
+    rel::SiloPairSpec spec;
+    spec.kind = rel::JoinKind::kLeftJoin;
+    spec.other_rows = 4000;
+    spec.base_rows = 4000 * fanout;
+    spec.base_features = 2;
+    spec.other_features = 40;
+    spec.seed = 77 + fanout;
+    rel::SiloPair pair = rel::GenerateSiloPair(spec);
+    auto metadata = factorized::DerivePairMetadata(pair);
+    AMALUR_CHECK(metadata.ok()) << metadata.status();
+    const bench::StrategyTiming timing =
+        bench::MeasureTraining(*metadata, kIterations);
+    std::printf("%8zu %12.3f %12.3f %8.2fx\n", fanout,
+                timing.materialized_seconds, timing.factorized_seconds,
+                timing.Speedup());
+  }
+  std::printf(
+      "\nExpected: the factorized advantage grows ~linearly with fan-out\n"
+      "(compute is per unique source row); sparse materialization closes\n"
+      "part of the gap only when the target is NULL-heavy.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces paper Figure 4's computation as a micro-benchmark: the LMM
+// rewrite  T·X → I₁D₁M₁ᵀX + ((I₂D₂M₂ᵀ) ∘ R₂)X  versus the materialized
+// T·X, on the running example's structure scaled up (full outer join with
+// overlapping columns m, a). Also measures the transpose rewrite used by
+// gradients and the Morpheus-style rewrite (1) for reference (it is faster
+// but WRONG on overlapping silos — it double-counts; correctness is checked
+// in the test suite, speed is reported here).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "factorized/factorized_table.h"
+#include "factorized/scenario_builder.h"
+#include "relational/generator.h"
+
+namespace {
+
+using namespace amalur;
+
+/// Running-example structure at `scale` rows: full outer join, shared
+/// columns, 30% row overlap, a private column per side.
+metadata::DiMetadata MakeScaledRunningExample(size_t scale) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kFullOuterJoin;
+  spec.base_rows = scale;
+  spec.other_rows = scale * 3 / 4;
+  spec.base_features = 1;   // hr
+  spec.other_features = 1;  // o
+  spec.shared_features = 2;  // m, a analogues
+  spec.match_fraction = 0.3;
+  spec.row_overlap = 0.4;
+  spec.seed = 404;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+  auto metadata = factorized::DerivePairMetadata(pair);
+  AMALUR_CHECK(metadata.ok()) << metadata.status();
+  return std::move(metadata).ValueOrDie();
+}
+
+void BM_LmmAmalurRewrite(benchmark::State& state) {
+  const size_t scale = static_cast<size_t>(state.range(0));
+  factorized::FactorizedTable table(MakeScaledRunningExample(scale));
+  Rng rng(1);
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(table.cols(), 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.LeftMultiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.rows()));
+}
+
+void BM_LmmMaterialized(benchmark::State& state) {
+  const size_t scale = static_cast<size_t>(state.range(0));
+  factorized::FactorizedTable table(MakeScaledRunningExample(scale));
+  la::DenseMatrix dense = table.Materialize();
+  Rng rng(1);
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(dense.cols(), 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.Multiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dense.rows()));
+}
+
+void BM_LmmMaterializeThenMultiply(benchmark::State& state) {
+  // The true materialized path cost: build T, then multiply.
+  const size_t scale = static_cast<size_t>(state.range(0));
+  metadata::DiMetadata metadata = MakeScaledRunningExample(scale);
+  Rng rng(1);
+  la::DenseMatrix x =
+      la::DenseMatrix::RandomGaussian(metadata.target_cols(), 4, &rng);
+  for (auto _ : state) {
+    la::DenseMatrix dense = metadata.MaterializeTargetMatrix();
+    benchmark::DoNotOptimize(dense.Multiply(x));
+  }
+}
+
+void BM_LmmMorpheusRewrite(benchmark::State& state) {
+  // Rule (1) without redundancy handling — reference speed only.
+  const size_t scale = static_cast<size_t>(state.range(0));
+  factorized::MorpheusReference table(MakeScaledRunningExample(scale));
+  Rng rng(1);
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(table.cols(), 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.LeftMultiply(x));
+  }
+}
+
+void BM_TransposeLmmAmalurRewrite(benchmark::State& state) {
+  const size_t scale = static_cast<size_t>(state.range(0));
+  factorized::FactorizedTable table(MakeScaledRunningExample(scale));
+  Rng rng(2);
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(table.rows(), 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.TransposeLeftMultiply(x));
+  }
+}
+
+void BM_TransposeLmmMaterialized(benchmark::State& state) {
+  const size_t scale = static_cast<size_t>(state.range(0));
+  factorized::FactorizedTable table(MakeScaledRunningExample(scale));
+  la::DenseMatrix dense = table.Materialize();
+  Rng rng(2);
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(dense.rows(), 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.TransposeMultiply(x));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LmmAmalurRewrite)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LmmMaterialized)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LmmMaterializeThenMultiply)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LmmMorpheusRewrite)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_TransposeLmmAmalurRewrite)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_TransposeLmmMaterialized)->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Reproduces paper Figure 5 empirically: the factorize/materialize decision
+// plane over tuple ratio (join fan-out) x feature ratio (dimension width).
+// For every grid cell the harness measures both strategies and prints the
+// measured winner plus both estimators' predictions, then summarizes the
+// three areas: I (clearly factorize), II (clearly materialize) and III (the
+// contested band where the heuristic of [27] loses cases the DI-metadata
+// cost model recovers).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cost/amalur_cost_model.h"
+#include "cost/morpheus_heuristic.h"
+
+namespace {
+
+using namespace amalur;
+
+char Letter(cost::Strategy s) {
+  return s == cost::Strategy::kFactorize ? 'F' : 'M';
+}
+
+}  // namespace
+
+int main() {
+  const size_t kIterations = 20;
+  const size_t kOtherRows = 2000;
+  const double tuple_ratios[] = {1, 2, 3, 5, 8, 12};
+  const double feature_ratios[] = {1, 2, 5, 10, 20};
+
+  cost::MorpheusHeuristic morpheus;
+  cost::AmalurCostModelOptions options;
+  options.training_iterations = static_cast<double>(kIterations);
+  cost::AmalurCostModel amalur_model(options);
+
+  std::printf("=== Figure 5: decision areas over TR x FR ===\n");
+  std::printf("(left join, rS2=%zu, cS1=2; cell = measured/morpheus/amalur)\n\n",
+              kOtherRows);
+  std::printf("%8s |", "TR \\ FR");
+  for (double fr : feature_ratios) std::printf("  %5.0f  |", fr);
+  std::printf("\n---------+");
+  for (size_t i = 0; i < std::size(feature_ratios); ++i) {
+    std::printf("---------+");
+  }
+  std::printf("\n");
+
+  int morpheus_correct = 0, amalur_correct = 0, total = 0;
+  int area_one = 0, area_two = 0, area_three = 0;
+  for (double tr : tuple_ratios) {
+    std::printf("%8.0f |", tr);
+    for (double fr : feature_ratios) {
+      rel::SiloPairSpec spec;
+      spec.kind = rel::JoinKind::kLeftJoin;
+      spec.other_rows = kOtherRows;
+      spec.base_rows = static_cast<size_t>(tr * kOtherRows);
+      spec.base_features = 2;
+      spec.other_features = static_cast<size_t>(fr * 2);
+      spec.seed = static_cast<uint64_t>(tr * 1000 + fr);
+      rel::SiloPair pair = rel::GenerateSiloPair(spec);
+      auto metadata = factorized::DerivePairMetadata(pair);
+      AMALUR_CHECK(metadata.ok()) << metadata.status();
+      const cost::CostFeatures features =
+          cost::CostFeatures::FromMetadata(*metadata);
+
+      const bench::StrategyTiming timing =
+          bench::MeasureTraining(*metadata, kIterations);
+      const cost::Strategy measured = timing.Winner();
+      const cost::Strategy morpheus_says = morpheus.Decide(features);
+      const cost::Strategy amalur_says = amalur_model.Decide(features);
+      std::printf("  %c/%c/%c  |", Letter(measured), Letter(morpheus_says),
+                  Letter(amalur_says));
+
+      total += 1;
+      morpheus_correct += morpheus_says == measured ? 1 : 0;
+      amalur_correct += amalur_says == measured ? 1 : 0;
+      // Areas: both estimators agree with the measurement -> easy area
+      // (I for factorize, II for materialize); disagreement -> area III.
+      if (morpheus_says == measured && amalur_says == measured) {
+        (measured == cost::Strategy::kFactorize ? area_one : area_two) += 1;
+      } else {
+        area_three += 1;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nAccuracy vs measured winner: Morpheus %.0f%%, Amalur %.0f%% "
+      "(%d cells)\n",
+      100.0 * morpheus_correct / total, 100.0 * amalur_correct / total, total);
+  std::printf(
+      "Decision areas: I (easy factorize) = %d, II (easy materialize) = %d, "
+      "III (contested) = %d\n",
+      area_one, area_two, area_three);
+  return 0;
+}

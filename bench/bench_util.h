@@ -1,0 +1,86 @@
+#ifndef AMALUR_BENCH_BENCH_UTIL_H_
+#define AMALUR_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "cost/cost_features.h"
+#include "factorized/factorized_table.h"
+#include "factorized/scenario_builder.h"
+#include "metadata/di_metadata.h"
+#include "ml/linear_models.h"
+#include "ml/training_matrix.h"
+
+/// \file bench_util.h
+/// Shared measurement plumbing for the per-table/figure bench binaries.
+/// Ground truth for every decision experiment is the same pair of end-to-end
+/// pipelines the system itself runs: factorized = plan build + training over
+/// silo matrices; materialized = target materialization + dense training.
+
+namespace amalur {
+namespace bench {
+
+/// End-to-end seconds of both strategies for one scenario.
+struct StrategyTiming {
+  double factorized_seconds = 0.0;
+  double materialized_seconds = 0.0;
+
+  cost::Strategy Winner() const {
+    return factorized_seconds < materialized_seconds
+               ? cost::Strategy::kFactorize
+               : cost::Strategy::kMaterialize;
+  }
+  double Speedup() const {
+    return materialized_seconds /
+           std::max(factorized_seconds, 1e-12);
+  }
+};
+
+/// Gradient-descent linear regression, label at target column 0.
+inline double RunFactorized(const metadata::DiMetadata& metadata,
+                            size_t iterations) {
+  Stopwatch watch;
+  auto table = std::make_shared<factorized::FactorizedTable>(metadata);
+  ml::FactorizedFeatures features(table, 0);
+  const la::DenseMatrix labels = features.Labels();
+  ml::GradientDescentOptions gd;
+  gd.iterations = iterations;
+  gd.learning_rate = 0.05;
+  ml::TrainLinearRegression(features, labels, gd);
+  return watch.ElapsedSeconds();
+}
+
+inline double RunMaterialized(const metadata::DiMetadata& metadata,
+                              size_t iterations) {
+  Stopwatch watch;
+  la::DenseMatrix target = metadata.MaterializeTargetMatrix();
+  std::vector<size_t> feature_cols;
+  for (size_t j = 1; j < target.cols(); ++j) feature_cols.push_back(j);
+  ml::MaterializedMatrix features(target.SelectColumns(feature_cols));
+  la::DenseMatrix labels = target.SelectColumns({0});
+  ml::GradientDescentOptions gd;
+  gd.iterations = iterations;
+  gd.learning_rate = 0.05;
+  ml::TrainLinearRegression(features, labels, gd);
+  return watch.ElapsedSeconds();
+}
+
+/// Medians over `repeats` runs (interleaved to decorrelate cache effects).
+inline StrategyTiming MeasureTraining(const metadata::DiMetadata& metadata,
+                                      size_t iterations, size_t repeats = 3) {
+  std::vector<double> fact, mat;
+  for (size_t r = 0; r < repeats; ++r) {
+    fact.push_back(RunFactorized(metadata, iterations));
+    mat.push_back(RunMaterialized(metadata, iterations));
+  }
+  std::sort(fact.begin(), fact.end());
+  std::sort(mat.begin(), mat.end());
+  return {fact[fact.size() / 2], mat[mat.size() / 2]};
+}
+
+}  // namespace bench
+}  // namespace amalur
+
+#endif  // AMALUR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Quickstart: the paper's running example (Figures 2 and 4), end to end.
+//
+// Two hospital departments hold patient tables: the ER department's
+// S1(m, n, a, hr) with the mortality label, and the pulmonary department's
+// S2(m, n, a, o, dd) with blood-oxygen readings. Amalur discovers the shared
+// columns, synthesizes the mediated schema T(m, a, hr, o), resolves Jane as
+// the shared entity, derives the mapping/indicator/redundancy matrices, and
+// trains a mortality model — choosing factorized or materialized execution
+// by cost.
+
+#include <cstdio>
+
+#include "core/amalur.h"
+#include "integration/running_example.h"
+
+int main() {
+  using namespace amalur;
+
+  integration::RunningExample example = integration::MakeRunningExample();
+  std::printf("=== Source silos ===\n%s\n%s\n",
+              example.s1.ToString().c_str(), example.s2.ToString().c_str());
+
+  core::Amalur system;
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+      {"S1", example.s1, "hospital-er", /*privacy_sensitive=*/false}));
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+      {"S2", example.s2, "hospital-pulmonary", /*privacy_sensitive=*/false}));
+
+  auto integration =
+      system.Integrate("S1", "S2", rel::JoinKind::kFullOuterJoin);
+  AMALUR_CHECK(integration.ok()) << integration.status();
+
+  std::printf("=== Discovered column matches ===\n");
+  for (const auto& match : integration->column_matches) {
+    std::printf("  S1.%s  ~  S2.%s   (score %.2f)\n",
+                example.s1.column(match.left_column).name().c_str(),
+                example.s2.column(match.right_column).name().c_str(),
+                match.score);
+  }
+
+  std::printf("\n=== Generated schema mapping (s-t tgds, Table I) ===\n%s\n",
+              integration->mapping.ToString().c_str());
+
+  std::printf("=== Entity resolution ===\n");
+  for (const auto& [l, r] : integration->matching.matched) {
+    std::printf("  S1 row %zu  ==  S2 row %zu   (%s)\n", l, r,
+                example.s1.column(1).GetValue(l).str().c_str());
+  }
+
+  const metadata::DiMetadata& md = integration->metadata;
+  std::printf("\n=== The three matrices (Figure 4) ===\n");
+  for (size_t k = 0; k < md.num_sources(); ++k) {
+    std::printf("  %s: %s, %s, %s\n", md.source(k).name.c_str(),
+                md.source(k).mapping.ToString().c_str(),
+                md.source(k).indicator.ToString().c_str(),
+                md.source(k).redundancy.ToString().c_str());
+  }
+  std::printf("\nMaterialized target (matrix form):\n%s\n",
+              md.MaterializeTargetMatrix().ToString().c_str());
+
+  core::Plan plan = system.PlanFor(*integration);
+  std::printf("=== Optimizer ===\n  %s\n\n", plan.explanation.c_str());
+
+  core::TrainRequest request;
+  request.task = core::TrainingTask::kLogisticRegression;
+  request.label_column = "m";
+  request.gd.iterations = 500;
+  request.gd.learning_rate = 0.0001;  // features are unnormalized (age, HR, O2)
+  auto outcome = system.Train(*integration, request, "mortality-model");
+  AMALUR_CHECK(outcome.ok()) << outcome.status();
+
+  std::printf("=== Trained mortality model (%s) ===\n",
+              core::ExecutionStrategyToString(outcome->strategy_used));
+  std::printf("  final log-loss: %.4f   (started at %.4f)\n",
+              outcome->loss_history.back(), outcome->loss_history.front());
+  std::printf("  weights (a, hr, o): ");
+  for (size_t j = 0; j < outcome->weights.rows(); ++j) {
+    std::printf("%+.4f ", outcome->weights.At(j, 0));
+  }
+  std::printf("\n\nModel registered in the catalog as 'mortality-model'.\n");
+  return 0;
+}

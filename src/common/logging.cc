@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace amalur {
+namespace internal {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogThreshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(static_cast<int>(level)); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(static_cast<int>(level) >= g_threshold.load() ||
+               level == LogLevel::kFatal) {
+  if (enabled_) {
+    const char* basename = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') basename = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << basename << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    std::cerr.flush();
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace amalur

@@ -1,0 +1,75 @@
+#ifndef AMALUR_COMMON_LOGGING_H_
+#define AMALUR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging plus fatal-check macros, modelled on Arrow's
+/// `DCHECK`/`ARROW_LOG` surface. Logging is synchronous to stderr; the
+/// library itself only logs at WARNING and above, so hot paths stay silent.
+
+namespace amalur {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+/// One log statement: accumulates a message and emits it on destruction.
+/// A `kFatal` message aborts the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the process-wide minimum log level (default: kWarning).
+inline void SetLogLevel(LogLevel level) { internal::SetLogThreshold(level); }
+
+}  // namespace amalur
+
+#define AMALUR_LOG(level)                                                       \
+  ::amalur::internal::LogMessage(::amalur::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal unless `condition` holds. Active in all build types: these guard
+/// internal invariants whose violation would corrupt results silently.
+#define AMALUR_CHECK(condition)                                       \
+  if (!(condition))                                                   \
+  AMALUR_LOG(Fatal) << "Check failed: " #condition " "
+
+#define AMALUR_CHECK_OK(expr)                                         \
+  do {                                                                \
+    ::amalur::Status _s = (expr);                                     \
+    AMALUR_CHECK(_s.ok()) << _s.ToString();                           \
+  } while (false)
+
+#define AMALUR_CHECK_EQ(a, b) AMALUR_CHECK((a) == (b))
+#define AMALUR_CHECK_NE(a, b) AMALUR_CHECK((a) != (b))
+#define AMALUR_CHECK_LT(a, b) AMALUR_CHECK((a) < (b))
+#define AMALUR_CHECK_LE(a, b) AMALUR_CHECK((a) <= (b))
+#define AMALUR_CHECK_GT(a, b) AMALUR_CHECK((a) > (b))
+#define AMALUR_CHECK_GE(a, b) AMALUR_CHECK((a) >= (b))
+
+#endif  // AMALUR_COMMON_LOGGING_H_

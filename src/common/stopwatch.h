@@ -1,0 +1,38 @@
+#ifndef AMALUR_COMMON_STOPWATCH_H_
+#define AMALUR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file stopwatch.h
+/// Wall-clock timing for the cost model's calibration and the bench harness.
+
+namespace amalur {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace amalur
+
+#endif  // AMALUR_COMMON_STOPWATCH_H_

@@ -1,0 +1,213 @@
+#include "core/amalur.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace amalur {
+namespace core {
+
+namespace {
+
+bool IsNumeric(const rel::Column& column) {
+  return column.type() != rel::DataType::kString;
+}
+
+bool AllValuesDistinct(const rel::Column& column) {
+  std::set<std::string> seen;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.IsNull(i)) continue;
+    if (!seen.insert(column.KeyString(i)).second) return false;
+  }
+  return true;
+}
+
+/// Identifier detection: a matched numeric pair is a surrogate key (join
+/// evidence, not a feature) when its name looks like an id and its values
+/// are unique in at least one source (the primary-key side; the foreign-key
+/// side repeats under join fan-out). Keys as features poison downstream
+/// models; this is standard feature-selection hygiene in DI-for-ML
+/// pipelines.
+bool IsIdLikePair(const rel::Column& left, const rel::Column& right) {
+  static const std::set<std::string> kIdNames{"id",  "key", "k",    "pk",
+                                              "uid", "nr",  "rowid"};
+  const std::string name = CanonicalizeIdentifier(left.name());
+  const bool id_name =
+      kIdNames.count(name) > 0 ||
+      (name.size() > 2 && name.substr(name.size() - 2) == "id");
+  return id_name && (AllValuesDistinct(left) || AllValuesDistinct(right));
+}
+
+}  // namespace
+
+Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
+                                            const std::string& other_name,
+                                            rel::JoinKind kind) {
+  AMALUR_ASSIGN_OR_RETURN(const SourceEntry* base_entry,
+                          catalog_.GetSource(base_name));
+  AMALUR_ASSIGN_OR_RETURN(const SourceEntry* other_entry,
+                          catalog_.GetSource(other_name));
+  const rel::Table& base = base_entry->table;
+  const rel::Table& other = other_entry->table;
+
+  IntegrationHandle handle;
+  handle.base_name = base_name;
+  handle.other_name = other_name;
+  handle.privacy_constrained =
+      base_entry->privacy_sensitive || other_entry->privacy_sensitive;
+
+  // ---- 1. Schema matching (cached in the catalog).
+  handle.column_matches = integration::MatchSchemas(base, other, options_.matcher);
+  catalog_.StoreColumnMatches(base_name, other_name, handle.column_matches);
+  if (kind != rel::JoinKind::kUnion && handle.column_matches.empty()) {
+    return Status::FailedPrecondition(
+        "no column matches between '", base_name, "' and '", other_name,
+        "'; a join scenario needs shared columns");
+  }
+
+  // ---- 2. Target-schema synthesis. Matched numeric columns merge into one
+  // target column named after the base column; private numeric columns carry
+  // over; string columns act as join evidence only (the running example's
+  // `n`). Name collisions between private columns get a suffix.
+  std::vector<int64_t> base_match_of(base.NumColumns(), -1);
+  std::vector<int64_t> other_match_of(other.NumColumns(), -1);
+  for (size_t i = 0; i < handle.column_matches.size(); ++i) {
+    base_match_of[handle.column_matches[i].left_column] =
+        static_cast<int64_t>(i);
+    other_match_of[handle.column_matches[i].right_column] =
+        static_cast<int64_t>(i);
+  }
+
+  std::vector<rel::Field> target_fields;
+  std::set<std::string> used_names;
+  std::vector<integration::ColumnCorrespondence> base_corr;
+  std::vector<integration::ColumnCorrespondence> other_corr;
+  auto claim = [&used_names](const std::string& name) {
+    std::string out = name;
+    int suffix = 2;
+    while (used_names.count(out) > 0) out = name + "_" + std::to_string(suffix++);
+    used_names.insert(out);
+    return out;
+  };
+
+  std::vector<uint8_t> join_only_match(handle.column_matches.size(), 0);
+  for (size_t j = 0; j < base.NumColumns(); ++j) {
+    const rel::Column& column = base.column(j);
+    if (!IsNumeric(column)) continue;
+    if (base_match_of[j] >= 0) {
+      const auto& match =
+          handle.column_matches[static_cast<size_t>(base_match_of[j])];
+      if (IsIdLikePair(column, other.column(match.right_column))) {
+        // Surrogate key: join evidence only.
+        join_only_match[static_cast<size_t>(base_match_of[j])] = 1;
+        continue;
+      }
+    }
+    const std::string target_name = claim(column.name());
+    target_fields.push_back({target_name, column.type(), true});
+    base_corr.push_back({column.name(), target_name});
+    if (base_match_of[j] >= 0) {
+      const auto& match =
+          handle.column_matches[static_cast<size_t>(base_match_of[j])];
+      other_corr.push_back({other.column(match.right_column).name(),
+                            target_name});
+    }
+  }
+  for (size_t j = 0; j < other.NumColumns(); ++j) {
+    const rel::Column& column = other.column(j);
+    if (!IsNumeric(column) || other_match_of[j] >= 0) continue;
+    const std::string target_name = claim(column.name());
+    target_fields.push_back({target_name, column.type(), true});
+    other_corr.push_back({column.name(), target_name});
+  }
+  if (target_fields.empty()) {
+    return Status::FailedPrecondition("no numeric columns to integrate");
+  }
+
+  // Matched string columns and surrogate keys become explicit source
+  // matches (join variables outside the target schema).
+  std::vector<integration::SourceColumnMatch> source_matches;
+  for (size_t i = 0; i < handle.column_matches.size(); ++i) {
+    const integration::ColumnMatch& match = handle.column_matches[i];
+    if (!IsNumeric(base.column(match.left_column)) || join_only_match[i]) {
+      source_matches.push_back({0, base.column(match.left_column).name(), 1,
+                                other.column(match.right_column).name()});
+    }
+  }
+
+  AMALUR_ASSIGN_OR_RETURN(
+      handle.mapping,
+      integration::SchemaMapping::Create(
+          kind,
+          {integration::SchemaMapping::SourceSpec{base_name, base.schema(),
+                                                  std::move(base_corr)},
+           integration::SchemaMapping::SourceSpec{other_name, other.schema(),
+                                                  std::move(other_corr)}},
+          rel::Schema(std::move(target_fields)), std::move(source_matches)));
+
+  // ---- 3. Row matching. When the match set contains a surrogate key,
+  // exact key matching applies (and naturally expresses join fan-out, which
+  // 1:1 entity resolution cannot); otherwise fall back to fuzzy entity
+  // resolution over the matched columns.
+  if (kind != rel::JoinKind::kUnion) {
+    std::vector<std::string> base_keys;
+    std::vector<std::string> other_keys;
+    for (size_t i = 0; i < handle.column_matches.size(); ++i) {
+      const integration::ColumnMatch& match = handle.column_matches[i];
+      if (join_only_match[i] && IsNumeric(base.column(match.left_column))) {
+        base_keys.push_back(base.column(match.left_column).name());
+        other_keys.push_back(other.column(match.right_column).name());
+      }
+    }
+    if (!base_keys.empty()) {
+      AMALUR_ASSIGN_OR_RETURN(
+          handle.matching,
+          rel::MatchRowsOnKeys(base, other, base_keys, other_keys));
+    } else {
+      AMALUR_ASSIGN_OR_RETURN(
+          handle.matching,
+          integration::ResolveEntities(base, other, handle.column_matches,
+                                       options_.resolver));
+    }
+    catalog_.StoreRowMatching(base_name, other_name, handle.matching);
+  }
+
+  // ---- 4. The three metadata matrices.
+  AMALUR_ASSIGN_OR_RETURN(
+      handle.metadata,
+      metadata::DiMetadata::Derive(handle.mapping, {&base, &other},
+                                   handle.matching));
+  return handle;
+}
+
+Plan Amalur::PlanFor(const IntegrationHandle& integration) const {
+  return Optimizer(options_.cost)
+      .Choose(integration.metadata, integration.privacy_constrained);
+}
+
+Result<TrainOutcome> Amalur::Train(const IntegrationHandle& integration,
+                                   const TrainRequest& request,
+                                   const std::string& model_name) {
+  const Plan plan = PlanFor(integration);
+  Executor executor;
+  AMALUR_ASSIGN_OR_RETURN(TrainOutcome outcome,
+                          executor.Run(integration.metadata, plan, request));
+  if (!model_name.empty()) {
+    ModelEntry entry;
+    entry.name = model_name;
+    entry.task = TrainingTaskToString(request.task);
+    entry.hyperparameters = {
+        {"iterations", static_cast<double>(request.gd.iterations)},
+        {"learning_rate", request.gd.learning_rate},
+        {"l2", request.gd.l2}};
+    entry.metric =
+        outcome.loss_history.empty() ? 0.0 : outcome.loss_history.back();
+    entry.training_sources = {integration.base_name, integration.other_name};
+    entry.strategy = ExecutionStrategyToString(outcome.strategy_used);
+    AMALUR_RETURN_NOT_OK(catalog_.RegisterModel(std::move(entry)));
+  }
+  return outcome;
+}
+
+}  // namespace core
+}  // namespace amalur

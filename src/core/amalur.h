@@ -1,0 +1,93 @@
+#ifndef AMALUR_CORE_AMALUR_H_
+#define AMALUR_CORE_AMALUR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/catalog.h"
+#include "core/executor.h"
+#include "core/optimizer.h"
+#include "cost/amalur_cost_model.h"
+#include "integration/entity_resolution.h"
+#include "integration/schema_matching.h"
+#include "metadata/di_metadata.h"
+
+/// \file amalur.h
+/// The Amalur system facade — the end-to-end pipeline of Figure 3. Users
+/// register silo tables, ask the system to *integrate* a pair (automatic
+/// schema matching → target-schema synthesis → tgd generation → entity
+/// resolution → the three metadata matrices) and then to *train* a model
+/// over the integration; the optimizer picks factorized, materialized or
+/// federated execution.
+///
+///     core::Amalur amalur;
+///     amalur.catalog()->RegisterSource({"S1", s1, "hospital-er", false});
+///     amalur.catalog()->RegisterSource({"S2", s2, "pulmonary", false});
+///     auto integration = amalur.Integrate("S1", "S2",
+///                                         rel::JoinKind::kFullOuterJoin);
+///     core::TrainRequest request;
+///     request.label_column = "m";
+///     auto outcome = amalur.Train(*integration, request, "mortality-model");
+
+namespace amalur {
+namespace core {
+
+/// Configuration of the system's components.
+struct AmalurOptions {
+  integration::SchemaMatcherOptions matcher;
+  integration::EntityResolverOptions resolver;
+  cost::AmalurCostModelOptions cost;
+};
+
+/// A completed integration: everything derived between two registered
+/// sources. Handles are self-contained (they copy the derived metadata) and
+/// can outlive catalog mutations.
+struct IntegrationHandle {
+  std::string base_name;
+  std::string other_name;
+  std::vector<integration::ColumnMatch> column_matches;
+  integration::SchemaMapping mapping;
+  rel::RowMatching matching;
+  metadata::DiMetadata metadata;
+  /// True when either source forbids data movement.
+  bool privacy_constrained = false;
+};
+
+/// The system facade.
+class Amalur {
+ public:
+  explicit Amalur(AmalurOptions options = {}) : options_(options) {}
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Runs the automatic integration pipeline between two registered sources:
+  /// schema matching, target-schema synthesis (matched numeric columns merge
+  /// into one target column; source-private numeric columns carry over;
+  /// string columns serve as join evidence only), tgd generation for `kind`,
+  /// entity resolution, and metadata derivation. Results are cached in the
+  /// catalog and returned as a self-contained handle.
+  Result<IntegrationHandle> Integrate(const std::string& base_name,
+                                      const std::string& other_name,
+                                      rel::JoinKind kind);
+
+  /// Plans and executes a training run over an integration. When
+  /// `model_name` is non-empty the trained model is registered in the
+  /// catalog with its final loss as the metric.
+  Result<TrainOutcome> Train(const IntegrationHandle& integration,
+                             const TrainRequest& request,
+                             const std::string& model_name = "");
+
+  /// The optimizer's plan for an integration (exposed for inspection).
+  Plan PlanFor(const IntegrationHandle& integration) const;
+
+ private:
+  AmalurOptions options_;
+  Catalog catalog_;
+};
+
+}  // namespace core
+}  // namespace amalur
+
+#endif  // AMALUR_CORE_AMALUR_H_

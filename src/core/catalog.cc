@@ -1,0 +1,80 @@
+#include "core/catalog.h"
+
+namespace amalur {
+namespace core {
+
+Status Catalog::RegisterSource(SourceEntry entry) {
+  if (entry.name.empty()) return Status::InvalidArgument("empty source name");
+  auto [it, inserted] = sources_.try_emplace(entry.name, std::move(entry));
+  if (!inserted) return Status::AlreadyExists("source '", it->first, "'");
+  return Status::OK();
+}
+
+Result<const SourceEntry*> Catalog::GetSource(const std::string& name) const {
+  auto it = sources_.find(name);
+  if (it == sources_.end()) return Status::NotFound("source '", name, "'");
+  return &it->second;
+}
+
+bool Catalog::HasSource(const std::string& name) const {
+  return sources_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::SourceNames() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, entry] : sources_) names.push_back(name);
+  return names;
+}
+
+void Catalog::StoreColumnMatches(const std::string& left,
+                                 const std::string& right,
+                                 std::vector<integration::ColumnMatch> matches) {
+  column_matches_[{left, right}] = std::move(matches);
+}
+
+Result<const std::vector<integration::ColumnMatch>*> Catalog::GetColumnMatches(
+    const std::string& left, const std::string& right) const {
+  auto it = column_matches_.find({left, right});
+  if (it == column_matches_.end()) {
+    return Status::NotFound("column matches for (", left, ", ", right, ")");
+  }
+  return &it->second;
+}
+
+void Catalog::StoreRowMatching(const std::string& left, const std::string& right,
+                               rel::RowMatching matching) {
+  row_matchings_[{left, right}] = std::move(matching);
+}
+
+Result<const rel::RowMatching*> Catalog::GetRowMatching(
+    const std::string& left, const std::string& right) const {
+  auto it = row_matchings_.find({left, right});
+  if (it == row_matchings_.end()) {
+    return Status::NotFound("row matching for (", left, ", ", right, ")");
+  }
+  return &it->second;
+}
+
+Status Catalog::RegisterModel(ModelEntry entry) {
+  if (entry.name.empty()) return Status::InvalidArgument("empty model name");
+  auto [it, inserted] = models_.try_emplace(entry.name, std::move(entry));
+  if (!inserted) return Status::AlreadyExists("model '", it->first, "'");
+  return Status::OK();
+}
+
+Result<const ModelEntry*> Catalog::GetModel(const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) return Status::NotFound("model '", name, "'");
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::ModelNames() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, entry] : models_) names.push_back(name);
+  return names;
+}
+
+}  // namespace core
+}  // namespace amalur

@@ -1,0 +1,85 @@
+#ifndef AMALUR_CORE_CATALOG_H_
+#define AMALUR_CORE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "integration/schema_matching.h"
+#include "relational/join.h"
+#include "relational/table.h"
+
+/// \file catalog.h
+/// The hybrid metadata catalog of Figure 3: basic metadata of each source
+/// (schema, provenance, privacy constraints), DI metadata produced by
+/// matching/resolution runs, and model metadata of trained models. In this
+/// in-process reproduction the catalog also holds the data handles; in a
+/// deployed system those would be silo connections.
+
+namespace amalur {
+namespace core {
+
+/// One registered data source (a silo's table).
+struct SourceEntry {
+  std::string name;
+  rel::Table table;
+  /// Provenance: where the silo lives (free-form, e.g. "hospital-er").
+  std::string silo_location;
+  /// Privacy constraint: data may not leave the silo (forces federated
+  /// execution, §II.C).
+  bool privacy_sensitive = false;
+};
+
+/// Metadata of a trained model (the model-zoo side of the catalog [24]).
+struct ModelEntry {
+  std::string name;
+  std::string task;  // e.g. "linear_regression"
+  std::map<std::string, double> hyperparameters;
+  /// Evaluation metric value (task-dependent: MSE, accuracy, ...).
+  double metric = 0.0;
+  /// Names of the sources the model was trained over.
+  std::vector<std::string> training_sources;
+  /// Execution strategy that produced it ("factorize"/"materialize"/...).
+  std::string strategy;
+};
+
+/// The catalog. Not thread-safe (single-orchestrator usage).
+class Catalog {
+ public:
+  /// Registers a source; the name must be unique.
+  Status RegisterSource(SourceEntry entry);
+  Result<const SourceEntry*> GetSource(const std::string& name) const;
+  bool HasSource(const std::string& name) const;
+  std::vector<std::string> SourceNames() const;
+
+  /// Stores the schema-matching output for a source pair (order-sensitive).
+  void StoreColumnMatches(const std::string& left, const std::string& right,
+                          std::vector<integration::ColumnMatch> matches);
+  Result<const std::vector<integration::ColumnMatch>*> GetColumnMatches(
+      const std::string& left, const std::string& right) const;
+
+  /// Stores the entity-resolution output for a source pair.
+  void StoreRowMatching(const std::string& left, const std::string& right,
+                        rel::RowMatching matching);
+  Result<const rel::RowMatching*> GetRowMatching(const std::string& left,
+                                                 const std::string& right) const;
+
+  /// Registers a trained model; the name must be unique.
+  Status RegisterModel(ModelEntry entry);
+  Result<const ModelEntry*> GetModel(const std::string& name) const;
+  std::vector<std::string> ModelNames() const;
+
+ private:
+  using PairKey = std::pair<std::string, std::string>;
+
+  std::map<std::string, SourceEntry> sources_;
+  std::map<PairKey, std::vector<integration::ColumnMatch>> column_matches_;
+  std::map<PairKey, rel::RowMatching> row_matchings_;
+  std::map<std::string, ModelEntry> models_;
+};
+
+}  // namespace core
+}  // namespace amalur
+
+#endif  // AMALUR_CORE_CATALOG_H_

@@ -1,0 +1,116 @@
+#include "core/executor.h"
+
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "ml/training_matrix.h"
+
+namespace amalur {
+namespace core {
+
+namespace {
+
+/// Trains the requested model over any backend.
+ml::LinearModel TrainOver(const ml::TrainingMatrix& features,
+                          const la::DenseMatrix& labels,
+                          const TrainRequest& request) {
+  if (request.task == TrainingTask::kLogisticRegression) {
+    return ml::TrainLogisticRegression(features, labels, request.gd);
+  }
+  return ml::TrainLinearRegression(features, labels, request.gd);
+}
+
+}  // namespace
+
+const char* TrainingTaskToString(TrainingTask task) {
+  switch (task) {
+    case TrainingTask::kLinearRegression:
+      return "linear_regression";
+    case TrainingTask::kLogisticRegression:
+      return "logistic_regression";
+  }
+  return "?";
+}
+
+Result<TrainOutcome> Executor::Run(const metadata::DiMetadata& metadata,
+                                   const Plan& plan,
+                                   const TrainRequest& request) const {
+  const auto label_index =
+      metadata.target_schema().IndexOf(request.label_column);
+  if (!label_index.has_value()) {
+    return Status::NotFound("label column '", request.label_column,
+                            "' in the target schema");
+  }
+
+  TrainOutcome outcome;
+  outcome.strategy_used = plan.strategy;
+  Stopwatch stopwatch;
+
+  switch (plan.strategy) {
+    case ExecutionStrategy::kFactorize: {
+      auto table =
+          std::make_shared<factorized::FactorizedTable>(metadata);
+      ml::FactorizedFeatures features(table, *label_index);
+      const la::DenseMatrix labels = features.Labels();
+      ml::LinearModel model = TrainOver(features, labels, request);
+      outcome.weights = std::move(model.weights);
+      outcome.loss_history = std::move(model.loss_history);
+      break;
+    }
+    case ExecutionStrategy::kMaterialize: {
+      const la::DenseMatrix target = metadata.MaterializeTargetMatrix();
+      std::vector<size_t> feature_cols;
+      for (size_t j = 0; j < target.cols(); ++j) {
+        if (j != *label_index) feature_cols.push_back(j);
+      }
+      ml::MaterializedMatrix features(target.SelectColumns(feature_cols));
+      ml::MaterializedMatrix label_view(target.SelectColumns({*label_index}));
+      ml::LinearModel model =
+          TrainOver(features, label_view.data(), request);
+      outcome.weights = std::move(model.weights);
+      outcome.loss_history = std::move(model.loss_history);
+      break;
+    }
+    case ExecutionStrategy::kFederate: {
+      if (request.task != TrainingTask::kLinearRegression) {
+        return Status::Unimplemented(
+            "federated execution currently supports linear regression");
+      }
+      AMALUR_ASSIGN_OR_RETURN(federated::VflAlignment alignment,
+                              federated::AlignForVfl(metadata, *label_index));
+      federated::MessageBus bus;
+      federated::VflOptions options;
+      options.iterations = request.gd.iterations;
+      options.learning_rate = request.gd.learning_rate;
+      options.l2 = request.gd.l2;
+      options.privacy = request.privacy;
+      AMALUR_ASSIGN_OR_RETURN(
+          federated::VflResult result,
+          federated::TrainVerticalFlr(alignment.xa, alignment.labels,
+                                      alignment.xb, options, &bus));
+      // Re-assemble [θ_A; θ_B] into target-feature order (feature index =
+      // target column index minus the label offset).
+      outcome.weights =
+          la::DenseMatrix(metadata.target_cols() - 1, 1);
+      auto feature_index = [&](size_t target_col) {
+        return target_col < *label_index ? target_col : target_col - 1;
+      };
+      for (size_t j = 0; j < alignment.a_columns.size(); ++j) {
+        outcome.weights.At(feature_index(alignment.a_columns[j]), 0) =
+            result.theta_a.At(j, 0);
+      }
+      for (size_t j = 0; j < alignment.b_columns.size(); ++j) {
+        outcome.weights.At(feature_index(alignment.b_columns[j]), 0) =
+            result.theta_b.At(j, 0);
+      }
+      outcome.loss_history = std::move(result.loss_history);
+      outcome.bytes_transferred = result.bytes_transferred;
+      break;
+    }
+  }
+  outcome.seconds = stopwatch.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace core
+}  // namespace amalur

@@ -1,0 +1,65 @@
+#ifndef AMALUR_CORE_EXECUTOR_H_
+#define AMALUR_CORE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "federated/vfl.h"
+#include "metadata/di_metadata.h"
+#include "ml/linear_models.h"
+
+/// \file executor.h
+/// Plan execution (Figure 3's "Optimization & Execution"): compiles the
+/// optimizer's plan into the concrete training run — a factorized trainer
+/// over silo matrices, a materialized trainer over the exported target, or
+/// the federated protocol — and reports what actually ran.
+
+namespace amalur {
+namespace core {
+
+/// Supported downstream tasks.
+enum class TrainingTask : int8_t {
+  kLinearRegression = 0,
+  kLogisticRegression = 1,
+};
+
+const char* TrainingTaskToString(TrainingTask task);
+
+/// What the user asks Amalur to train.
+struct TrainRequest {
+  TrainingTask task = TrainingTask::kLinearRegression;
+  /// Target-schema column holding the label.
+  std::string label_column = "y";
+  ml::GradientDescentOptions gd;
+  /// Federated wire protection (only used by federated plans).
+  federated::VflPrivacy privacy = federated::VflPrivacy::kPlaintext;
+};
+
+/// The result of an executed plan.
+struct TrainOutcome {
+  ExecutionStrategy strategy_used = ExecutionStrategy::kMaterialize;
+  /// Final weights in target-feature order. For federated runs this is the
+  /// concatenation [θ_A; θ_B] re-ordered to target columns.
+  la::DenseMatrix weights;
+  std::vector<double> loss_history;
+  /// Wall-clock of the training run (excludes metadata derivation).
+  double seconds = 0.0;
+  /// Bytes moved between parties (federated runs only).
+  size_t bytes_transferred = 0;
+};
+
+/// Executes plans against derived metadata.
+class Executor {
+ public:
+  /// Runs `request` under `plan`. For federated plans the scenario must be
+  /// VFL-compatible (shared sample space) and the task linear regression.
+  Result<TrainOutcome> Run(const metadata::DiMetadata& metadata,
+                           const Plan& plan, const TrainRequest& request) const;
+};
+
+}  // namespace core
+}  // namespace amalur
+
+#endif  // AMALUR_CORE_EXECUTOR_H_

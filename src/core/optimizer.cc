@@ -1,0 +1,38 @@
+#include "core/optimizer.h"
+
+namespace amalur {
+namespace core {
+
+const char* ExecutionStrategyToString(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kFactorize:
+      return "factorize";
+    case ExecutionStrategy::kMaterialize:
+      return "materialize";
+    case ExecutionStrategy::kFederate:
+      return "federate";
+  }
+  return "?";
+}
+
+Plan Optimizer::Choose(const metadata::DiMetadata& metadata,
+                       bool privacy_constrained) const {
+  Plan plan;
+  if (privacy_constrained) {
+    plan.strategy = ExecutionStrategy::kFederate;
+    plan.explanation =
+        "privacy constraint: source data may not leave its silo; the "
+        "learning process is split across silos";
+    return plan;
+  }
+  const cost::CostFeatures features = cost::CostFeatures::FromMetadata(metadata);
+  plan.estimate = cost_model_.Estimate(features);
+  plan.strategy = plan.estimate.Decision() == cost::Strategy::kFactorize
+                      ? ExecutionStrategy::kFactorize
+                      : ExecutionStrategy::kMaterialize;
+  plan.explanation = cost_model_.Explain(features);
+  return plan;
+}
+
+}  // namespace core
+}  // namespace amalur

@@ -1,0 +1,44 @@
+#ifndef AMALUR_COST_MORPHEUS_HEURISTIC_H_
+#define AMALUR_COST_MORPHEUS_HEURISTIC_H_
+
+#include <string>
+
+#include "cost/cost_features.h"
+
+/// \file morpheus_heuristic.h
+/// The state-of-the-art baseline decision rule of [27] (§IV.B): factorize
+/// when the tuple ratio and the feature ratio both clear fixed thresholds.
+/// It sees only table shapes — no overlap, no within-source duplication, no
+/// null structure — which is exactly why it misses the Area III cases of
+/// Figure 5 that the Amalur model recovers (Table III).
+
+namespace amalur {
+namespace cost {
+
+/// Thresholds of the rule of thumb in [27].
+struct MorpheusHeuristicOptions {
+  double tuple_ratio_threshold = 5.0;
+  double feature_ratio_threshold = 1.0;
+};
+
+/// The baseline estimator.
+class MorpheusHeuristic {
+ public:
+  explicit MorpheusHeuristic(MorpheusHeuristicOptions options = {})
+      : options_(options) {}
+
+  /// Decides per the rule: factorize iff some non-base source has
+  /// TR >= tuple threshold and FR >= feature threshold.
+  Strategy Decide(const CostFeatures& features) const;
+
+  /// Human-readable justification of the last decision inputs.
+  std::string Explain(const CostFeatures& features) const;
+
+ private:
+  MorpheusHeuristicOptions options_;
+};
+
+}  // namespace cost
+}  // namespace amalur
+
+#endif  // AMALUR_COST_MORPHEUS_HEURISTIC_H_

@@ -1,0 +1,118 @@
+#include "factorized/aggregates.h"
+
+#include <algorithm>
+
+namespace amalur {
+namespace factorized {
+
+namespace {
+
+/// Resolves the owning source's value of target cell (row, column):
+/// the first source (base-table order) that contributes the cell
+/// non-redundantly. Returns false when no source supplies it (NULL padding
+/// in the materialized view). Cell presence is structural — a contributed
+/// cell whose original value was NULL carries 0, matching the paper's
+/// matrix-form semantics (Figure 4 renders absent cells as 0).
+bool ResolveCell(const metadata::DiMetadata& metadata, size_t row,
+                 size_t column, double* value) {
+  for (size_t k = 0; k < metadata.num_sources(); ++k) {
+    const metadata::SourceMetadata& source = metadata.source(k);
+    const int64_t source_row = source.indicator.At(row);
+    if (source_row < 0) continue;
+    const int64_t source_col = source.mapping.At(column);
+    if (source_col < 0) continue;
+    if (source.redundancy.IsRedundant(row, column)) continue;
+    *value = source.data.At(static_cast<size_t>(source_row),
+                            static_cast<size_t>(source_col));
+    return true;
+  }
+  return false;
+}
+
+Result<size_t> ResolveColumn(const metadata::DiMetadata& metadata,
+                             const std::string& column) {
+  const auto index = metadata.target_schema().IndexOf(column);
+  if (!index.has_value()) {
+    return Status::NotFound("target column '", column, "'");
+  }
+  return *index;
+}
+
+}  // namespace
+
+size_t CountRows(const metadata::DiMetadata& metadata) {
+  return metadata.target_rows();
+}
+
+Result<size_t> CountWhere(const metadata::DiMetadata& metadata,
+                          const std::string& column,
+                          const std::function<bool(double)>& predicate) {
+  AMALUR_ASSIGN_OR_RETURN(size_t col, ResolveColumn(metadata, column));
+  size_t count = 0;
+  for (size_t i = 0; i < metadata.target_rows(); ++i) {
+    double value = 0.0;
+    if (ResolveCell(metadata, i, col, &value) && predicate(value)) ++count;
+  }
+  return count;
+}
+
+Result<double> SumColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column) {
+  AMALUR_ASSIGN_OR_RETURN(size_t col, ResolveColumn(metadata, column));
+  double sum = 0.0;
+  for (size_t i = 0; i < metadata.target_rows(); ++i) {
+    double value = 0.0;
+    if (ResolveCell(metadata, i, col, &value)) sum += value;
+  }
+  return sum;
+}
+
+Result<double> AvgColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column) {
+  AMALUR_ASSIGN_OR_RETURN(size_t col, ResolveColumn(metadata, column));
+  double sum = 0.0;
+  size_t present = 0;
+  for (size_t i = 0; i < metadata.target_rows(); ++i) {
+    double value = 0.0;
+    if (ResolveCell(metadata, i, col, &value)) {
+      sum += value;
+      ++present;
+    }
+  }
+  if (present == 0) {
+    return Status::NotFound("no row supplies column '", column, "'");
+  }
+  return sum / static_cast<double>(present);
+}
+
+namespace {
+
+Result<double> Extremum(const metadata::DiMetadata& metadata,
+                        const std::string& column, bool want_min) {
+  AMALUR_ASSIGN_OR_RETURN(size_t col, ResolveColumn(metadata, column));
+  bool any = false;
+  double best = 0.0;
+  for (size_t i = 0; i < metadata.target_rows(); ++i) {
+    double value = 0.0;
+    if (!ResolveCell(metadata, i, col, &value)) continue;
+    if (!any || (want_min ? value < best : value > best)) best = value;
+    any = true;
+  }
+  if (!any) return Status::NotFound("no row supplies column '", column, "'");
+  return best;
+}
+
+}  // namespace
+
+Result<double> MinColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column) {
+  return Extremum(metadata, column, /*want_min=*/true);
+}
+
+Result<double> MaxColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column) {
+  return Extremum(metadata, column, /*want_min=*/false);
+}
+
+}  // namespace factorized
+}  // namespace amalur

@@ -1,0 +1,49 @@
+#ifndef AMALUR_FACTORIZED_AGGREGATES_H_
+#define AMALUR_FACTORIZED_AGGREGATES_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "metadata/di_metadata.h"
+
+/// \file aggregates.h
+/// Redundancy-aware query aggregates over the *virtual* target table —
+/// the paper's motivating example for the redundancy matrix (§III.C):
+/// "when a user query asks how many patients aged above 30 are in S1 and
+/// S2, the correct answer is three instead of four: the overlapped row of
+/// Jane should be counted only once." These operators answer such queries
+/// directly over the silo matrices, using `CI_k` to deduplicate entities
+/// and `R_k`/`CM_k` to pick each cell's owning source — no materialization.
+
+namespace amalur {
+namespace factorized {
+
+/// COUNT(*) over the virtual target: the number of target rows.
+size_t CountRows(const metadata::DiMetadata& metadata);
+
+/// COUNT of target rows whose `column` value satisfies `predicate`.
+/// A target row's cell value comes from its owning (non-redundant) source;
+/// rows where no source supplies the column (NULL padding) are not counted.
+Result<size_t> CountWhere(const metadata::DiMetadata& metadata,
+                          const std::string& column,
+                          const std::function<bool(double)>& predicate);
+
+/// SUM over a target column (absent cells contribute nothing).
+Result<double> SumColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column);
+
+/// AVG over a target column, averaging only rows where the value exists.
+/// Returns NotFound when no row supplies the column.
+Result<double> AvgColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column);
+
+/// MIN/MAX over a target column (only rows where the value exists).
+Result<double> MinColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column);
+Result<double> MaxColumn(const metadata::DiMetadata& metadata,
+                         const std::string& column);
+
+}  // namespace factorized
+}  // namespace amalur
+
+#endif  // AMALUR_FACTORIZED_AGGREGATES_H_

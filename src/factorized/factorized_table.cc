@@ -1,0 +1,222 @@
+#include "factorized/factorized_table.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace amalur {
+namespace factorized {
+
+FactorizedTable::FactorizedTable(metadata::DiMetadata metadata)
+    : metadata_(std::move(metadata)) {
+  BuildPlans(/*ignore_redundancy=*/false);
+}
+
+void FactorizedTable::BuildPlans(bool ignore_redundancy) {
+  plans_.clear();
+  plans_.resize(metadata_.num_sources());
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const metadata::SourceMetadata& source = metadata_.source(k);
+
+    // Mapped (D_k column, target column) pairs in D_k order.
+    std::vector<size_t> all_dk_cols;
+    std::vector<size_t> all_t_cols;
+    for (size_t c = 0; c < source.mapping.target_cols(); ++c) {
+      const int64_t j = source.mapping.At(c);
+      if (j >= 0) {
+        all_dk_cols.push_back(static_cast<size_t>(j));
+        all_t_cols.push_back(c);
+      }
+    }
+
+    // Group contributing target rows by redundancy set id, deduplicating
+    // source rows within each class.
+    std::map<int32_t, RowClassPlan> classes;
+    std::map<int32_t, std::unordered_map<size_t, size_t>> unique_index;
+    for (size_t i = 0; i < metadata_.target_rows(); ++i) {
+      const int64_t s = source.indicator.At(i);
+      if (s < 0) continue;
+      const int32_t set_id =
+          ignore_redundancy ? -1 : source.redundancy.row_set(i);
+      RowClassPlan& plan = classes[set_id];
+      auto& index = unique_index[set_id];
+      const size_t source_row = static_cast<size_t>(s);
+      auto [it, inserted] =
+          index.try_emplace(source_row, plan.unique_source_rows.size());
+      if (inserted) plan.unique_source_rows.push_back(source_row);
+      plan.target_rows.push_back(i);
+      plan.target_to_unique.push_back(it->second);
+    }
+
+    // Fill allowed column pairs per class (full set minus the masked cols).
+    for (auto& [set_id, plan] : classes) {
+      if (set_id < 0) {
+        plan.dk_cols = all_dk_cols;
+        plan.t_cols = all_t_cols;
+      } else {
+        const std::vector<size_t>& masked =
+            source.redundancy.column_sets()[static_cast<size_t>(set_id)];
+        for (size_t p = 0; p < all_dk_cols.size(); ++p) {
+          if (!std::binary_search(masked.begin(), masked.end(), all_t_cols[p])) {
+            plan.dk_cols.push_back(all_dk_cols[p]);
+            plan.t_cols.push_back(all_t_cols[p]);
+          }
+        }
+      }
+      if (!plan.dk_cols.empty()) plans_[k].push_back(std::move(plan));
+    }
+  }
+}
+
+la::DenseMatrix FactorizedTable::LeftMultiply(const la::DenseMatrix& x) const {
+  AMALUR_CHECK_EQ(x.rows(), cols()) << "LMM: X must have cT rows";
+  const size_t n = x.cols();
+  la::DenseMatrix out(rows(), n);
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const la::DenseMatrix& dk = metadata_.source(k).data;
+    for (const RowClassPlan& plan : plans_[k]) {
+      // Compute once per unique source row: U = D_k[rows, cols] · X[t_cols].
+      la::DenseMatrix unique(plan.unique_source_rows.size(), n);
+      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+        double* u_row = unique.RowPtr(u);
+        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
+          const double v = d_row[plan.dk_cols[p]];
+          if (v == 0.0) continue;
+          const double* x_row = x.RowPtr(plan.t_cols[p]);
+          for (size_t c = 0; c < n; ++c) u_row[c] += v * x_row[c];
+        }
+      }
+      // Expand through the indicator (fan-out rows share one computation).
+      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
+        const double* u_row = unique.RowPtr(plan.target_to_unique[r]);
+        double* out_row = out.RowPtr(plan.target_rows[r]);
+        for (size_t c = 0; c < n; ++c) out_row[c] += u_row[c];
+      }
+    }
+  }
+  return out;
+}
+
+la::DenseMatrix FactorizedTable::TransposeLeftMultiply(
+    const la::DenseMatrix& x) const {
+  AMALUR_CHECK_EQ(x.rows(), rows()) << "TᵀX: X must have rT rows";
+  const size_t n = x.cols();
+  la::DenseMatrix out(cols(), n);
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const la::DenseMatrix& dk = metadata_.source(k).data;
+    for (const RowClassPlan& plan : plans_[k]) {
+      // Reduce X over fan-out first: one accumulated row per unique source
+      // row (the Iᵀ step), then a single pass of multiply-adds per source
+      // row (the D_kᵀ step).
+      la::DenseMatrix reduced(plan.unique_source_rows.size(), n);
+      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
+        const double* x_row = x.RowPtr(plan.target_rows[r]);
+        double* acc = reduced.RowPtr(plan.target_to_unique[r]);
+        for (size_t c = 0; c < n; ++c) acc[c] += x_row[c];
+      }
+      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+        const double* acc = reduced.RowPtr(u);
+        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
+          const double v = d_row[plan.dk_cols[p]];
+          if (v == 0.0) continue;
+          double* out_row = out.RowPtr(plan.t_cols[p]);
+          for (size_t c = 0; c < n; ++c) out_row[c] += v * acc[c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+la::DenseMatrix FactorizedTable::RightMultiply(const la::DenseMatrix& x) const {
+  AMALUR_CHECK_EQ(x.cols(), rows()) << "RMM: X must have rT columns";
+  const size_t m = x.rows();
+  la::DenseMatrix out(m, cols());
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const la::DenseMatrix& dk = metadata_.source(k).data;
+    for (const RowClassPlan& plan : plans_[k]) {
+      // Aggregate X's fan-out columns per unique source row, then multiply.
+      la::DenseMatrix aggregated(m, plan.unique_source_rows.size());
+      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
+        const size_t t = plan.target_rows[r];
+        const size_t u = plan.target_to_unique[r];
+        for (size_t i = 0; i < m; ++i) aggregated.At(i, u) += x.At(i, t);
+      }
+      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
+          const double v = d_row[plan.dk_cols[p]];
+          if (v == 0.0) continue;
+          const size_t c = plan.t_cols[p];
+          for (size_t i = 0; i < m; ++i) out.At(i, c) += aggregated.At(i, u) * v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+la::DenseMatrix FactorizedTable::RowSums() const {
+  la::DenseMatrix out(rows(), 1);
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const la::DenseMatrix& dk = metadata_.source(k).data;
+    for (const RowClassPlan& plan : plans_[k]) {
+      std::vector<double> sums(plan.unique_source_rows.size(), 0.0);
+      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+        for (size_t j : plan.dk_cols) sums[u] += d_row[j];
+      }
+      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
+        out.At(plan.target_rows[r], 0) += sums[plan.target_to_unique[r]];
+      }
+    }
+  }
+  return out;
+}
+
+la::DenseMatrix FactorizedTable::ColSums() const {
+  la::DenseMatrix out(1, cols());
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const la::DenseMatrix& dk = metadata_.source(k).data;
+    for (const RowClassPlan& plan : plans_[k]) {
+      // Fan-out multiplies each unique source row's contribution.
+      std::vector<double> counts(plan.unique_source_rows.size(), 0.0);
+      for (size_t u : plan.target_to_unique) counts[u] += 1.0;
+      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
+          out.At(0, plan.t_cols[p]) += counts[u] * d_row[plan.dk_cols[p]];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+la::DenseMatrix FactorizedTable::RowSquaredNorms() const {
+  la::DenseMatrix out(rows(), 1);
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const la::DenseMatrix& dk = metadata_.source(k).data;
+    for (const RowClassPlan& plan : plans_[k]) {
+      std::vector<double> sums(plan.unique_source_rows.size(), 0.0);
+      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+        for (size_t j : plan.dk_cols) sums[u] += d_row[j] * d_row[j];
+      }
+      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
+        out.At(plan.target_rows[r], 0) += sums[plan.target_to_unique[r]];
+      }
+    }
+  }
+  return out;
+}
+
+MorpheusReference::MorpheusReference(metadata::DiMetadata metadata)
+    : table_(std::move(metadata)) {
+  table_.BuildPlans(/*ignore_redundancy=*/true);
+}
+
+}  // namespace factorized
+}  // namespace amalur

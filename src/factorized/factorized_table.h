@@ -1,0 +1,125 @@
+#ifndef AMALUR_FACTORIZED_FACTORIZED_TABLE_H_
+#define AMALUR_FACTORIZED_FACTORIZED_TABLE_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "metadata/di_metadata.h"
+
+/// \file factorized_table.h
+/// The factorized target table: a virtual rT × cT matrix that is never
+/// materialized. Every linear-algebra operator is rewritten over the source
+/// matrices using the DI metadata — the Amalur rewrite rule (2) of §IV.A:
+///
+///     T X → I_1 D_1 M_1ᵀ X + ((I_2 D_2 M_2ᵀ) ∘ R_2) X + ...
+///
+/// implemented without materializing any rT × cT intermediate: target rows
+/// are grouped into *row classes* by their redundancy mask, and each class
+/// contributes a gather → small-GEMM → scatter. Compute is proportional to
+/// Σ_k nnz-contributions, which is what makes factorized learning faster
+/// than materialization when the target is redundant.
+
+namespace amalur {
+namespace factorized {
+
+/// A linear-algebra view over an integration scenario's target table.
+class FactorizedTable {
+ public:
+  /// Takes ownership of the derived metadata.
+  explicit FactorizedTable(metadata::DiMetadata metadata);
+
+  /// Target shape (rT × cT).
+  size_t rows() const { return metadata_.target_rows(); }
+  size_t cols() const { return metadata_.target_cols(); }
+  const metadata::DiMetadata& metadata() const { return metadata_; }
+
+  /// T · X for X (cT × n) — the paper's LMM, rewrite rule (2).
+  la::DenseMatrix LeftMultiply(const la::DenseMatrix& x) const;
+
+  /// Tᵀ · X for X (rT × n) — the transpose rewrite (gradients).
+  la::DenseMatrix TransposeLeftMultiply(const la::DenseMatrix& x) const;
+
+  /// X · T for X (m × rT) — the RMM rewrite.
+  la::DenseMatrix RightMultiply(const la::DenseMatrix& x) const;
+
+  /// Row sums T·1 (rT × 1).
+  la::DenseMatrix RowSums() const;
+
+  /// Column sums Tᵀ·1 as (1 × cT).
+  la::DenseMatrix ColSums() const;
+
+  /// Per-row squared norms Σ_j T[i,j]² (rT × 1). Valid because after
+  /// masking, each target cell is contributed by exactly one source.
+  la::DenseMatrix RowSquaredNorms() const;
+
+  /// The dense target (tests / the materialized execution path).
+  la::DenseMatrix Materialize() const { return metadata_.MaterializeTargetMatrix(); }
+
+  /// Reference (unrewritten) operators on an already-materialized T, used by
+  /// equivalence tests and the materialized training path.
+  static la::DenseMatrix MaterializedLeftMultiply(const la::DenseMatrix& t,
+                                                  const la::DenseMatrix& x) {
+    return t.Multiply(x);
+  }
+
+ private:
+  friend class MorpheusReference;
+
+  /// One redundancy row class of one source: these target rows share the
+  /// same set of allowed (non-redundant) columns. Join fan-out is factored
+  /// out: compute happens once per *unique source row* of the class and is
+  /// then expanded to the class's target rows through the indicator — the
+  /// mechanism that makes factorized learning cheaper than materialization
+  /// on redundant targets.
+  struct RowClassPlan {
+    /// Distinct D_k rows used by this class.
+    std::vector<size_t> unique_source_rows;
+    /// Target rows of the class.
+    std::vector<size_t> target_rows;
+    /// Index into `unique_source_rows`, parallel to `target_rows`.
+    std::vector<size_t> target_to_unique;
+    /// Allowed (D_k column, target column) pairs for this class.
+    std::vector<size_t> dk_cols;
+    std::vector<size_t> t_cols;  // parallel to dk_cols
+  };
+
+  /// Plans per source; built once at construction.
+  void BuildPlans(bool ignore_redundancy);
+
+  metadata::DiMetadata metadata_;
+  std::vector<std::vector<RowClassPlan>> plans_;  // [source][class]
+};
+
+/// The Morpheus-style baseline (rewrite rule (1) of §IV.A, after [27]):
+/// identical pushdown but with *no redundancy handling* — local results are
+/// simply added up via the indicator matrices. Correct only when sources do
+/// not overlap on target cells (the single-database, disjoint-columns
+/// setting Morpheus assumes); on overlapping silos it double-counts, which
+/// is the gap rule (2) closes.
+class MorpheusReference {
+ public:
+  explicit MorpheusReference(metadata::DiMetadata metadata);
+
+  size_t rows() const { return table_.rows(); }
+  size_t cols() const { return table_.cols(); }
+
+  la::DenseMatrix LeftMultiply(const la::DenseMatrix& x) const {
+    return table_.LeftMultiply(x);
+  }
+  la::DenseMatrix TransposeLeftMultiply(const la::DenseMatrix& x) const {
+    return table_.TransposeLeftMultiply(x);
+  }
+  la::DenseMatrix RightMultiply(const la::DenseMatrix& x) const {
+    return table_.RightMultiply(x);
+  }
+  la::DenseMatrix RowSums() const { return table_.RowSums(); }
+  la::DenseMatrix ColSums() const { return table_.ColSums(); }
+
+ private:
+  FactorizedTable table_;  // with redundancy ignored in its plans
+};
+
+}  // namespace factorized
+}  // namespace amalur
+
+#endif  // AMALUR_FACTORIZED_FACTORIZED_TABLE_H_

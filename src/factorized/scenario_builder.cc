@@ -1,0 +1,51 @@
+#include "factorized/scenario_builder.h"
+
+#include "relational/join.h"
+
+namespace amalur {
+namespace factorized {
+
+Result<integration::SchemaMapping> BuildPairMapping(const rel::SiloPair& pair) {
+  std::vector<std::string> target_names{"y"};
+  const std::vector<std::string> features = pair.TargetFeatureNames();
+  target_names.insert(target_names.end(), features.begin(), features.end());
+  rel::Schema target = rel::Schema::AllDouble(target_names);
+
+  std::vector<integration::ColumnCorrespondence> base_corr{{"y", "y"}};
+  for (const std::string& s : pair.shared_feature_names) base_corr.push_back({s, s});
+  for (const std::string& x : pair.base_feature_names) base_corr.push_back({x, x});
+
+  std::vector<integration::ColumnCorrespondence> other_corr;
+  if (pair.other.schema().Contains("y")) other_corr.push_back({"y", "y"});
+  for (const std::string& s : pair.shared_feature_names) {
+    other_corr.push_back({s, s});
+  }
+  for (const std::string& z : pair.other_feature_names) other_corr.push_back({z, z});
+
+  std::vector<integration::SourceColumnMatch> source_matches;
+  if (pair.spec.kind != rel::JoinKind::kUnion) {
+    source_matches.push_back({0, "k", 1, "k"});
+  }
+  return integration::SchemaMapping::Create(
+      pair.spec.kind,
+      {integration::SchemaMapping::SourceSpec{"S1", pair.base.schema(),
+                                              std::move(base_corr)},
+       integration::SchemaMapping::SourceSpec{"S2", pair.other.schema(),
+                                              std::move(other_corr)}},
+      std::move(target), std::move(source_matches));
+}
+
+Result<metadata::DiMetadata> DerivePairMetadata(const rel::SiloPair& pair) {
+  AMALUR_ASSIGN_OR_RETURN(integration::SchemaMapping mapping,
+                          BuildPairMapping(pair));
+  rel::RowMatching matching;
+  if (pair.spec.kind != rel::JoinKind::kUnion) {
+    AMALUR_ASSIGN_OR_RETURN(
+        matching, rel::MatchRowsOnKeys(pair.base, pair.other, {"k"}, {"k"}));
+  }
+  return metadata::DiMetadata::Derive(mapping, {&pair.base, &pair.other},
+                                      matching);
+}
+
+}  // namespace factorized
+}  // namespace amalur

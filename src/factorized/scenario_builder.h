@@ -1,0 +1,29 @@
+#ifndef AMALUR_FACTORIZED_SCENARIO_BUILDER_H_
+#define AMALUR_FACTORIZED_SCENARIO_BUILDER_H_
+
+#include "common/status.h"
+#include "integration/schema_mapping.h"
+#include "metadata/di_metadata.h"
+#include "relational/generator.h"
+
+/// \file scenario_builder.h
+/// Glue for experiments: given a generated `SiloPair`, construct the schema
+/// mapping of its Table I relationship, recover the ground-truth row matching
+/// from the entity key, and derive the DI metadata. Benches and tests build
+/// factorized/materialized pipelines from the same scenario object.
+
+namespace amalur {
+namespace factorized {
+
+/// Builds the schema mapping of the pair's dataset relationship:
+/// target schema = (y, shared..., base-private..., other-private...),
+/// join variable = the entity key `k` (not part of the target).
+Result<integration::SchemaMapping> BuildPairMapping(const rel::SiloPair& pair);
+
+/// Full pipeline: mapping + ground-truth key matching + metadata derivation.
+Result<metadata::DiMetadata> DerivePairMetadata(const rel::SiloPair& pair);
+
+}  // namespace factorized
+}  // namespace amalur
+
+#endif  // AMALUR_FACTORIZED_SCENARIO_BUILDER_H_

@@ -1,0 +1,135 @@
+#include "federated/hfl.h"
+
+#include "common/rng.h"
+#include "federated/secret_sharing.h"
+#include "ml/metrics.h"
+
+namespace amalur {
+namespace federated {
+
+namespace {
+
+std::string PartyName(size_t p) { return "P" + std::to_string(p); }
+
+}  // namespace
+
+Result<HflResult> TrainHorizontalFlr(const std::vector<HflPartition>& parties,
+                                     const HflOptions& options,
+                                     MessageBus* bus) {
+  if (bus == nullptr) return Status::InvalidArgument("bus must not be null");
+  if (parties.size() < 2) {
+    return Status::InvalidArgument("HFL needs at least two parties");
+  }
+  const size_t d = parties[0].features.cols();
+  size_t total_rows = 0;
+  for (size_t p = 0; p < parties.size(); ++p) {
+    if (parties[p].features.cols() != d) {
+      return Status::InvalidArgument("party ", p,
+                                     " has a different feature width");
+    }
+    if (parties[p].labels.rows() != parties[p].features.rows() ||
+        parties[p].labels.cols() != 1) {
+      return Status::InvalidArgument("party ", p, " labels must be n×1");
+    }
+    total_rows += parties[p].features.rows();
+  }
+  if (total_rows == 0) return Status::InvalidArgument("no training rows");
+
+  bus->Reset();
+  Rng rng(options.seed);
+  AdditiveSecretSharing sharing;
+  HflResult result{la::DenseMatrix(d, 1), {}, 0, 0};
+
+  for (size_t round = 0; round < options.rounds; ++round) {
+    // Server broadcasts the global model.
+    for (size_t p = 0; p < parties.size(); ++p) {
+      bus->Send("server", PartyName(p), result.weights);
+    }
+
+    // Each party: local GD epochs from the broadcast model, then submit the
+    // row-weighted model n_p·w_p (so the server average is weighted).
+    std::vector<la::DenseMatrix> weighted_models;
+    for (size_t p = 0; p < parties.size(); ++p) {
+      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix local,
+                              bus->Receive("server", PartyName(p)));
+      const la::DenseMatrix& x = parties[p].features;
+      const la::DenseMatrix& y = parties[p].labels;
+      const double inv_rows = 1.0 / static_cast<double>(x.rows());
+      for (size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
+        la::DenseMatrix residual = x.Multiply(local).Subtract(y);
+        la::DenseMatrix gradient = x.TransposeMultiply(residual);
+        gradient.ScaleInPlace(inv_rows);
+        local.AddScaled(gradient, -options.learning_rate);
+      }
+      local.ScaleInPlace(static_cast<double>(x.rows()));
+      weighted_models.push_back(std::move(local));
+    }
+
+    // Aggregation.
+    la::DenseMatrix aggregate(d, 1);
+    if (options.secure_aggregation) {
+      // Each party splits its weighted model into one share per party and
+      // routes share q to party q; every party forwards only the *sum* of
+      // the shares it received; the server reconstructs the global sum and
+      // learns nothing about any individual model.
+      std::vector<std::vector<ShareMatrix>> outgoing(parties.size());
+      for (size_t p = 0; p < parties.size(); ++p) {
+        outgoing[p] = sharing.Share(weighted_models[p], parties.size(), &rng);
+        for (size_t q = 0; q < parties.size(); ++q) {
+          if (q == p) continue;
+          // Ship the share as raw 64-bit words.
+          bus->SendBytes(PartyName(p), PartyName(q), outgoing[p][q].data);
+        }
+      }
+      std::vector<ShareMatrix> share_sums(parties.size());
+      for (size_t q = 0; q < parties.size(); ++q) {
+        ShareMatrix sum = outgoing[q][q];  // own share stays local
+        for (size_t p = 0; p < parties.size(); ++p) {
+          if (p == q) continue;
+          AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                                  bus->ReceiveBytes(PartyName(p), PartyName(q)));
+          ShareMatrix received{sum.rows, sum.cols, std::move(words)};
+          sum = AdditiveSecretSharing::AddShares(sum, received);
+        }
+        bus->SendBytes(PartyName(q), "server", sum.data);
+        share_sums[q] = std::move(sum);
+      }
+      std::vector<ShareMatrix> at_server;
+      for (size_t q = 0; q < parties.size(); ++q) {
+        AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                                bus->ReceiveBytes(PartyName(q), "server"));
+        at_server.push_back(ShareMatrix{d, 1, std::move(words)});
+      }
+      aggregate = sharing.Reconstruct(at_server);
+    } else {
+      for (size_t p = 0; p < parties.size(); ++p) {
+        bus->Send(PartyName(p), "server", weighted_models[p]);
+        AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix at_server,
+                                bus->Receive(PartyName(p), "server"));
+        aggregate.AddInPlace(at_server);
+      }
+    }
+    aggregate.ScaleInPlace(1.0 / static_cast<double>(total_rows));
+    result.weights = std::move(aggregate);
+
+    // Telemetry: global MSE under the fresh model (plaintext scalars, as in
+    // standard FedAvg evaluation).
+    double squared_error = 0.0;
+    for (const HflPartition& party : parties) {
+      la::DenseMatrix residual =
+          party.features.Multiply(result.weights).Subtract(party.labels);
+      for (size_t i = 0; i < residual.rows(); ++i) {
+        squared_error += residual.At(i, 0) * residual.At(i, 0);
+      }
+    }
+    result.loss_history.push_back(squared_error /
+                                  static_cast<double>(total_rows));
+  }
+
+  result.bytes_transferred = bus->TotalBytes();
+  result.messages = bus->TotalMessages();
+  return result;
+}
+
+}  // namespace federated
+}  // namespace amalur

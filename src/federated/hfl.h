@@ -1,0 +1,53 @@
+#ifndef AMALUR_FEDERATED_HFL_H_
+#define AMALUR_FEDERATED_HFL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "federated/message_bus.h"
+#include "la/dense_matrix.h"
+
+/// \file hfl.h
+/// Horizontal federated learning (FedAvg) for the union scenario (Example 4
+/// of Table I): parties hold row partitions over a shared feature space.
+/// Each round every party runs local gradient steps and the server averages
+/// the models, optionally through *secure aggregation* built on additive
+/// secret sharing — the server only ever sees the sum of the updates, never
+/// an individual party's model.
+
+namespace amalur {
+namespace federated {
+
+/// One party's horizontal partition.
+struct HflPartition {
+  la::DenseMatrix features;  // n_p × d
+  la::DenseMatrix labels;    // n_p × 1
+};
+
+/// Hyper-parameters for FedAvg.
+struct HflOptions {
+  size_t rounds = 30;
+  size_t local_epochs = 1;
+  double learning_rate = 0.1;
+  /// Aggregate updates via additive secret sharing instead of plaintext.
+  bool secure_aggregation = true;
+  uint64_t seed = 7;
+};
+
+/// A trained global model plus communication accounting.
+struct HflResult {
+  la::DenseMatrix weights;  // d × 1
+  /// Global training MSE after each round.
+  std::vector<double> loss_history;
+  size_t bytes_transferred = 0;
+  size_t messages = 0;
+};
+
+/// Runs FedAvg linear regression over the partitions.
+Result<HflResult> TrainHorizontalFlr(const std::vector<HflPartition>& parties,
+                                     const HflOptions& options, MessageBus* bus);
+
+}  // namespace federated
+}  // namespace amalur
+
+#endif  // AMALUR_FEDERATED_HFL_H_

@@ -1,0 +1,65 @@
+#include "federated/message_bus.h"
+
+namespace amalur {
+namespace federated {
+
+void MessageBus::Account(const Channel& channel, size_t payload_bytes) {
+  TransferStats& stats = stats_[channel];
+  stats.messages += 1;
+  stats.bytes += payload_bytes + kEnvelopeBytes;
+  total_bytes_ += payload_bytes + kEnvelopeBytes;
+  total_messages_ += 1;
+}
+
+void MessageBus::Send(const std::string& from, const std::string& to,
+                      la::DenseMatrix payload) {
+  const Channel channel{from, to};
+  Account(channel, payload.size() * sizeof(double));
+  dense_queues_[channel].push_back(std::move(payload));
+}
+
+void MessageBus::SendBytes(const std::string& from, const std::string& to,
+                           std::vector<uint64_t> payload) {
+  const Channel channel{from, to};
+  Account(channel, payload.size() * sizeof(uint64_t));
+  byte_queues_[channel].push_back(std::move(payload));
+}
+
+Result<la::DenseMatrix> MessageBus::Receive(const std::string& from,
+                                            const std::string& to) {
+  auto it = dense_queues_.find({from, to});
+  if (it == dense_queues_.end() || it->second.empty()) {
+    return Status::NotFound("no pending message on channel ", from, " -> ", to);
+  }
+  la::DenseMatrix payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+Result<std::vector<uint64_t>> MessageBus::ReceiveBytes(const std::string& from,
+                                                       const std::string& to) {
+  auto it = byte_queues_.find({from, to});
+  if (it == byte_queues_.end() || it->second.empty()) {
+    return Status::NotFound("no pending bytes on channel ", from, " -> ", to);
+  }
+  std::vector<uint64_t> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+TransferStats MessageBus::ChannelStats(const std::string& from,
+                                       const std::string& to) const {
+  auto it = stats_.find({from, to});
+  return it == stats_.end() ? TransferStats{} : it->second;
+}
+
+void MessageBus::Reset() {
+  dense_queues_.clear();
+  byte_queues_.clear();
+  stats_.clear();
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+}  // namespace federated
+}  // namespace amalur

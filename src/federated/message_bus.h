@@ -1,0 +1,76 @@
+#ifndef AMALUR_FEDERATED_MESSAGE_BUS_H_
+#define AMALUR_FEDERATED_MESSAGE_BUS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+/// \file message_bus.h
+/// In-process network simulation for the federated runtime. Parties never
+/// touch each other's memory: every exchanged tensor goes through the bus,
+/// which meters exact transfer volumes per channel — the quantity the §V
+/// discussion (and the communication-cost analysis) needs. Latency is not
+/// simulated; cost models multiply bytes by a configurable cost-per-byte.
+
+namespace amalur {
+namespace federated {
+
+/// One directed transfer record.
+struct TransferStats {
+  size_t messages = 0;
+  size_t bytes = 0;
+};
+
+/// Synchronous in-process message bus with byte accounting.
+class MessageBus {
+ public:
+  /// Sends a dense payload from `from` to `to`. Payload bytes are
+  /// 8 per cell plus a fixed 32-byte envelope.
+  void Send(const std::string& from, const std::string& to,
+            la::DenseMatrix payload);
+
+  /// Sends an opaque byte payload (already-encrypted data).
+  void SendBytes(const std::string& from, const std::string& to,
+                 std::vector<uint64_t> payload);
+
+  /// Pops the oldest dense payload on the channel; error when empty.
+  Result<la::DenseMatrix> Receive(const std::string& from, const std::string& to);
+
+  /// Pops the oldest byte payload on the channel; error when empty.
+  Result<std::vector<uint64_t>> ReceiveBytes(const std::string& from,
+                                             const std::string& to);
+
+  /// Stats of one directed channel.
+  TransferStats ChannelStats(const std::string& from, const std::string& to) const;
+
+  /// Total bytes moved over all channels.
+  size_t TotalBytes() const { return total_bytes_; }
+  /// Total messages moved over all channels.
+  size_t TotalMessages() const { return total_messages_; }
+
+  /// Clears queues and statistics.
+  void Reset();
+
+ private:
+  static constexpr size_t kEnvelopeBytes = 32;
+
+  using Channel = std::pair<std::string, std::string>;
+
+  void Account(const Channel& channel, size_t payload_bytes);
+
+  std::map<Channel, std::deque<la::DenseMatrix>> dense_queues_;
+  std::map<Channel, std::deque<std::vector<uint64_t>>> byte_queues_;
+  std::map<Channel, TransferStats> stats_;
+  size_t total_bytes_ = 0;
+  size_t total_messages_ = 0;
+};
+
+}  // namespace federated
+}  // namespace amalur
+
+#endif  // AMALUR_FEDERATED_MESSAGE_BUS_H_

@@ -1,0 +1,246 @@
+#include "federated/vfl.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "federated/paillier.h"
+#include "ml/metrics.h"
+
+namespace amalur {
+namespace federated {
+
+namespace {
+
+/// Homomorphic Xᵀ·[[d]]: for each column j, Π_i CipherScale([[d_i]], x_ij)
+/// with fixed-point-encoded scalars (negatives via the upper half-space).
+/// The result's fixed-point scale is scale² (both factors scaled).
+std::vector<PaillierCiphertext> HomomorphicTransposeDot(
+    const Paillier& paillier, const la::DenseMatrix& x,
+    const std::vector<PaillierCiphertext>& encrypted_d, double scale,
+    Rng* rng) {
+  const uint64_t n = paillier.public_key().n;
+  std::vector<PaillierCiphertext> out;
+  out.reserve(x.cols());
+  for (size_t j = 0; j < x.cols(); ++j) {
+    // Start from a fresh encryption of zero so even all-zero columns yield
+    // a randomized ciphertext.
+    PaillierCiphertext acc = paillier.EncryptRaw(0, rng);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      const int64_t fixed = std::llround(x.At(i, j) * scale);
+      if (fixed == 0) continue;
+      const uint64_t scalar =
+          fixed > 0 ? static_cast<uint64_t>(fixed)
+                    : n - static_cast<uint64_t>(-fixed);
+      acc = paillier.CipherAdd(acc,
+                               paillier.CipherScale(encrypted_d[i], scalar));
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+/// Decodes a plaintext in [0, n) produced by scale²-scaled homomorphic
+/// arithmetic back to a double.
+double DecodeScaled(uint64_t message, uint64_t n, double scale_squared) {
+  if (message > n / 2) {
+    return -static_cast<double>(n - message) / scale_squared;
+  }
+  return static_cast<double>(message) / scale_squared;
+}
+
+}  // namespace
+
+Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
+                                   const la::DenseMatrix& labels,
+                                   const la::DenseMatrix& xb,
+                                   const VflOptions& options, MessageBus* bus) {
+  if (bus == nullptr) return Status::InvalidArgument("bus must not be null");
+  if (xa.rows() != xb.rows() || labels.rows() != xa.rows() ||
+      labels.cols() != 1) {
+    return Status::InvalidArgument(
+        "xa, xb and labels must be row-aligned; labels must be n×1");
+  }
+  const size_t n_rows = xa.rows();
+  if (n_rows == 0) return Status::InvalidArgument("no training rows");
+  const double inv_n = 1.0 / static_cast<double>(n_rows);
+
+  VflResult result{la::DenseMatrix(xa.cols(), 1), la::DenseMatrix(xb.cols(), 1),
+                   {}, 0, 0};
+  bus->Reset();
+  Rng rng(options.seed);
+
+  // Coordinator C owns the Paillier keys in the secure mode; A and B use
+  // the public key only. (GenerateKeys is deterministic in the seed.)
+  Paillier paillier(Paillier::GenerateKeys(options.seed ^ 0xC0FFEE,
+                                           options.paillier_prime_bits),
+                    options.fractional_bits);
+  const double scale =
+      static_cast<double>(uint64_t{1} << options.fractional_bits);
+  const double scale_squared = scale * scale;
+  const uint64_t n_pub = paillier.public_key().n;
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    // Local forward passes.
+    la::DenseMatrix ua = xa.Multiply(result.theta_a);  // at A
+    la::DenseMatrix ub = xb.Multiply(result.theta_b);  // at B
+
+    if (options.privacy == VflPrivacy::kPlaintext) {
+      // B -> A: u_B; A forms the residual d and the loss, A -> B: d.
+      bus->Send("B", "A", ub);
+      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix ub_at_a, bus->Receive("B", "A"));
+      la::DenseMatrix predictions = ua.Add(ub_at_a);
+      la::DenseMatrix d = predictions.Subtract(labels);
+      result.loss_history.push_back(ml::MeanSquaredError(predictions, labels));
+      bus->Send("A", "B", d);
+      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix d_at_b, bus->Receive("A", "B"));
+
+      la::DenseMatrix grad_a = xa.TransposeMultiply(d).Scale(inv_n);
+      la::DenseMatrix grad_b = xb.TransposeMultiply(d_at_b).Scale(inv_n);
+      if (options.l2 > 0.0) {
+        grad_a.AddScaled(result.theta_a, options.l2);
+        grad_b.AddScaled(result.theta_b, options.l2);
+      }
+      result.theta_a.AddScaled(grad_a, -options.learning_rate);
+      result.theta_b.AddScaled(grad_b, -options.learning_rate);
+      continue;
+    }
+
+    // ---- Paillier protocol (semi-honest, coordinator C holds the keys).
+    // A -> B: [[u_A − y]]; B forms [[d]] = [[u_A − y]] ⊕ [[u_B]].
+    la::DenseMatrix ua_minus_y = ua.Subtract(labels);
+    std::vector<PaillierCiphertext> enc_ua_y =
+        paillier.EncryptMatrix(ua_minus_y, &rng);
+    bus->SendBytes("A", "B", PackCiphertexts(enc_ua_y));
+    AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words_at_b,
+                            bus->ReceiveBytes("A", "B"));
+    std::vector<PaillierCiphertext> enc_d = UnpackCiphertexts(words_at_b);
+    for (size_t i = 0; i < n_rows; ++i) {
+      enc_d[i] = paillier.CipherAdd(
+          enc_d[i], paillier.EncryptDouble(ub.At(i, 0), &rng));
+    }
+    // B -> A: [[d]] so A can also compute its gradient homomorphically.
+    bus->SendBytes("B", "A", PackCiphertexts(enc_d));
+    AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words_at_a,
+                            bus->ReceiveBytes("B", "A"));
+    std::vector<PaillierCiphertext> enc_d_at_a = UnpackCiphertexts(words_at_a);
+
+    // Each party computes its masked encrypted gradient and routes it
+    // through C for decryption; C only ever sees gradient + mask.
+    auto masked_gradient =
+        [&](const la::DenseMatrix& x,
+            const std::vector<PaillierCiphertext>& d_cipher,
+            const std::string& party) -> Result<la::DenseMatrix> {
+      std::vector<PaillierCiphertext> enc_grad =
+          HomomorphicTransposeDot(paillier, x, d_cipher, scale, &rng);
+      la::DenseMatrix mask(x.cols(), 1);
+      for (size_t j = 0; j < x.cols(); ++j) mask.At(j, 0) = rng.NextDouble(-8, 8);
+      for (size_t j = 0; j < x.cols(); ++j) {
+        // Mask enters at scale², matching the gradient's fixed-point scale.
+        const int64_t fixed = std::llround(mask.At(j, 0) * scale_squared);
+        const uint64_t message =
+            fixed >= 0 ? static_cast<uint64_t>(fixed)
+                       : n_pub - static_cast<uint64_t>(-fixed);
+        enc_grad[j] =
+            paillier.CipherAdd(enc_grad[j], paillier.EncryptRaw(message, &rng));
+      }
+      bus->SendBytes(party, "C", PackCiphertexts(enc_grad));
+      AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> at_c,
+                              bus->ReceiveBytes(party, "C"));
+      std::vector<PaillierCiphertext> ciphers = UnpackCiphertexts(at_c);
+      la::DenseMatrix decrypted(x.cols(), 1);
+      for (size_t j = 0; j < x.cols(); ++j) {
+        decrypted.At(j, 0) =
+            DecodeScaled(paillier.DecryptRaw(ciphers[j]), n_pub, scale_squared);
+      }
+      bus->Send("C", party, decrypted);
+      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix back, bus->Receive("C", party));
+      back.SubtractInPlace(mask);  // party removes its own mask
+      return back;
+    };
+
+    AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix grad_a,
+                            masked_gradient(xa, enc_d_at_a, "A"));
+    AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix grad_b,
+                            masked_gradient(xb, enc_d, "B"));
+    grad_a.ScaleInPlace(inv_n);
+    grad_b.ScaleInPlace(inv_n);
+    if (options.l2 > 0.0) {
+      grad_a.AddScaled(result.theta_a, options.l2);
+      grad_b.AddScaled(result.theta_b, options.l2);
+    }
+    result.theta_a.AddScaled(grad_a, -options.learning_rate);
+    result.theta_b.AddScaled(grad_b, -options.learning_rate);
+
+    // Telemetry: C decrypts the residual to report the training loss. This
+    // is an observability concession of the harness (documented), not part
+    // of the privacy protocol.
+    double loss = 0.0;
+    for (size_t i = 0; i < n_rows; ++i) {
+      const double di = paillier.DecryptDouble(enc_d[i]);
+      loss += di * di;
+    }
+    result.loss_history.push_back(loss * inv_n);
+  }
+
+  result.bytes_transferred = bus->TotalBytes();
+  result.messages = bus->TotalMessages();
+  return result;
+}
+
+Result<VflAlignment> AlignForVfl(const metadata::DiMetadata& metadata,
+                                 size_t label_column) {
+  if (metadata.num_sources() != 2) {
+    return Status::Unimplemented("VFL alignment handles two parties");
+  }
+  if (label_column >= metadata.target_cols()) {
+    return Status::OutOfRange("label column out of range");
+  }
+  // The VFL setting requires a shared sample space: every target row must be
+  // contributed by both parties (Example 2, inner join).
+  for (size_t k = 0; k < 2; ++k) {
+    if (metadata.source(k).indicator.ContributedRows() !=
+        metadata.target_rows()) {
+      return Status::FailedPrecondition(
+          "source ", k, " does not cover the full sample space; VFL needs an "
+          "inner-join scenario");
+    }
+  }
+
+  // Masked contributions: overlapping columns are provided by the base
+  // party only, so the two feature blocks are disjoint by construction.
+  la::DenseMatrix t0 = metadata.SourceContribution(0);
+  la::DenseMatrix t1 = metadata.SourceContribution(1);
+  metadata.source(0).redundancy.ApplyInPlace(&t0);
+  metadata.source(1).redundancy.ApplyInPlace(&t1);
+
+  VflAlignment alignment;
+  // Label comes from the base party.
+  const auto label_source = metadata.source(0).mapping.At(label_column);
+  if (label_source < 0) {
+    return Status::FailedPrecondition("base party does not hold the label");
+  }
+  alignment.labels = la::DenseMatrix(metadata.target_rows(), 1);
+  for (size_t i = 0; i < metadata.target_rows(); ++i) {
+    alignment.labels.At(i, 0) = t0.At(i, label_column);
+  }
+
+  // Party A: base-mapped feature columns; party B: its mapped columns that
+  // are not masked everywhere (i.e. not fully redundant).
+  for (size_t c : metadata.source(0).mapping.MappedTargetColumns()) {
+    if (c != label_column) alignment.a_columns.push_back(c);
+  }
+  for (size_t c : metadata.source(1).mapping.MappedTargetColumns()) {
+    if (c == label_column) continue;
+    bool contributes = false;
+    for (size_t i = 0; i < metadata.target_rows() && !contributes; ++i) {
+      contributes = !metadata.source(1).redundancy.IsRedundant(i, c);
+    }
+    if (contributes) alignment.b_columns.push_back(c);
+  }
+  alignment.xa = t0.SelectColumns(alignment.a_columns);
+  alignment.xb = t1.SelectColumns(alignment.b_columns);
+  return alignment;
+}
+
+}  // namespace federated
+}  // namespace amalur

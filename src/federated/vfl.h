@@ -1,0 +1,86 @@
+#ifndef AMALUR_FEDERATED_VFL_H_
+#define AMALUR_FEDERATED_VFL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "federated/message_bus.h"
+#include "la/dense_matrix.h"
+#include "metadata/di_metadata.h"
+
+/// \file vfl.h
+/// Vertical federated linear regression (FLR) after Yang et al. [35] and
+/// §V.A of the paper: party A holds features X_A and the labels, party B
+/// holds X_B over the *same aligned rows*; the objective is
+///
+///     min_{Θ_A, Θ_B} Σ_i (Θ_A X_A⁽ⁱ⁾ + Θ_B X_B⁽ⁱ⁾ − Y⁽ⁱ⁾)².
+///
+/// Two wire modes: plaintext (baseline) and Paillier (the secure protocol:
+/// residuals travel encrypted, gradients are computed homomorphically by
+/// the data parties and decrypted by a coordinator that only ever sees
+/// masked gradients). All traffic flows through the `MessageBus`, so the
+/// encryption blow-up of §V.B is directly measurable.
+
+namespace amalur {
+namespace federated {
+
+/// Wire protection for the VFL protocol.
+enum class VflPrivacy : int8_t {
+  /// Residuals and intermediate sums travel in the clear (baseline).
+  kPlaintext = 0,
+  /// Paillier-encrypted residual exchange with masked coordinator
+  /// decryption.
+  kPaillier = 1,
+};
+
+/// Hyper-parameters of the federated trainer.
+struct VflOptions {
+  size_t iterations = 100;
+  double learning_rate = 0.1;
+  double l2 = 0.0;
+  VflPrivacy privacy = VflPrivacy::kPlaintext;
+  /// Paillier key size (prime bits) and fixed-point precision.
+  int paillier_prime_bits = 30;
+  int fractional_bits = 12;
+  uint64_t seed = 99;
+};
+
+/// A trained federated model plus communication accounting.
+struct VflResult {
+  la::DenseMatrix theta_a;  // pA × 1 (party A's local weights)
+  la::DenseMatrix theta_b;  // pB × 1 (party B's local weights)
+  std::vector<double> loss_history;
+  size_t bytes_transferred = 0;
+  size_t messages = 0;
+};
+
+/// Trains vertical FLR. `xa` (n × pA) and `labels` (n × 1) live at party A;
+/// `xb` (n × pB) lives at party B; rows are pre-aligned (see `AlignForVfl`).
+Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
+                                   const la::DenseMatrix& labels,
+                                   const la::DenseMatrix& xb,
+                                   const VflOptions& options, MessageBus* bus);
+
+/// Row-aligned VFL inputs derived from DI metadata (§V.A: X_A = I₁D₁M₁ᵀ,
+/// X_B = I₂D₂M₂ᵀ restricted to feature columns, redundancy-masked so
+/// overlapping columns are provided by exactly one party).
+struct VflAlignment {
+  la::DenseMatrix xa;
+  la::DenseMatrix xb;
+  la::DenseMatrix labels;
+  /// Target column indices each party's local weights correspond to.
+  std::vector<size_t> a_columns;
+  std::vector<size_t> b_columns;
+};
+
+/// Builds the alignment. `label_column` is the target column holding Y
+/// (owned by the base source). Requires every target row to be contributed
+/// by both parties (the inner-join / VFL setting, Example 2 of Table I).
+Result<VflAlignment> AlignForVfl(const metadata::DiMetadata& metadata,
+                                 size_t label_column);
+
+}  // namespace federated
+}  // namespace amalur
+
+#endif  // AMALUR_FEDERATED_VFL_H_

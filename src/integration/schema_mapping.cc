@@ -1,0 +1,267 @@
+#include "integration/schema_mapping.h"
+
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace amalur {
+namespace integration {
+
+namespace {
+
+/// Union-find over column nodes; used to group columns into tgd variables.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<SchemaMapping> SchemaMapping::Create(
+    rel::JoinKind kind, std::vector<SourceSpec> sources, rel::Schema target_schema,
+    std::vector<SourceColumnMatch> source_matches) {
+  if (sources.size() < 2) {
+    return Status::InvalidArgument("a mapping needs at least two sources");
+  }
+  // Validate correspondences and matches.
+  for (size_t k = 0; k < sources.size(); ++k) {
+    for (const ColumnCorrespondence& c : sources[k].to_target) {
+      if (!sources[k].schema.Contains(c.source_column)) {
+        return Status::NotFound("source column '", c.source_column, "' in ",
+                                sources[k].name);
+      }
+      if (!target_schema.Contains(c.target_column)) {
+        return Status::NotFound("target column '", c.target_column, "'");
+      }
+    }
+  }
+  for (const SourceColumnMatch& m : source_matches) {
+    if (m.first_source >= sources.size() || m.second_source >= sources.size()) {
+      return Status::OutOfRange("source index in match");
+    }
+    if (!sources[m.first_source].schema.Contains(m.first_column) ||
+        !sources[m.second_source].schema.Contains(m.second_column)) {
+      return Status::NotFound("matched column missing from source schema");
+    }
+  }
+
+  SchemaMapping mapping;
+  mapping.kind_ = kind;
+  mapping.sources_ = std::move(sources);
+  mapping.target_schema_ = std::move(target_schema);
+
+  // ---- Group columns into variable classes with union-find.
+  // Node layout: [0, cT) target columns; then each source's columns.
+  const size_t num_target = mapping.target_schema_.num_fields();
+  std::vector<size_t> source_base(mapping.sources_.size());
+  size_t total = num_target;
+  for (size_t k = 0; k < mapping.sources_.size(); ++k) {
+    source_base[k] = total;
+    total += mapping.sources_[k].schema.num_fields();
+  }
+  UnionFind classes(total);
+  auto source_node = [&](size_t k, const std::string& column) {
+    return source_base[k] + *mapping.sources_[k].schema.IndexOf(column);
+  };
+  for (size_t k = 0; k < mapping.sources_.size(); ++k) {
+    for (const ColumnCorrespondence& c : mapping.sources_[k].to_target) {
+      classes.Union(source_node(k, c.source_column),
+                    *mapping.target_schema_.IndexOf(c.target_column));
+    }
+  }
+  for (const SourceColumnMatch& m : source_matches) {
+    classes.Union(source_node(m.first_source, m.first_column),
+                  source_node(m.second_source, m.second_column));
+  }
+
+  // ---- Name each class: target column name wins; else first source column
+  // name; disambiguate duplicates with a numeric suffix.
+  std::map<size_t, std::string> class_name;
+  std::set<std::string> used_names;
+  auto claim_name = [&](const std::string& base) {
+    std::string name = base;
+    int suffix = 1;
+    while (used_names.count(name) > 0) {
+      name = base + "_" + std::to_string(suffix++);
+    }
+    used_names.insert(name);
+    return name;
+  };
+  for (size_t i = 0; i < num_target; ++i) {
+    const size_t root = classes.Find(i);
+    if (class_name.count(root) == 0) {
+      class_name[root] = claim_name(mapping.target_schema_.field(i).name);
+    }
+  }
+  for (size_t k = 0; k < mapping.sources_.size(); ++k) {
+    const rel::Schema& schema = mapping.sources_[k].schema;
+    for (size_t j = 0; j < schema.num_fields(); ++j) {
+      const size_t root = classes.Find(source_base[k] + j);
+      if (class_name.count(root) == 0) {
+        class_name[root] = claim_name(schema.field(j).name);
+      }
+    }
+  }
+
+  mapping.target_variables_.resize(num_target);
+  for (size_t i = 0; i < num_target; ++i) {
+    mapping.target_variables_[i] = class_name[classes.Find(i)];
+  }
+  mapping.source_variables_.resize(mapping.sources_.size());
+  for (size_t k = 0; k < mapping.sources_.size(); ++k) {
+    const rel::Schema& schema = mapping.sources_[k].schema;
+    mapping.source_variables_[k].resize(schema.num_fields());
+    for (size_t j = 0; j < schema.num_fields(); ++j) {
+      mapping.source_variables_[k][j] = class_name[classes.Find(source_base[k] + j)];
+    }
+  }
+
+  // ---- Generate the tgds per Table I.
+  auto source_atom = [&](size_t k) {
+    return TgdAtom{mapping.sources_[k].name, mapping.source_variables_[k]};
+  };
+  const TgdAtom head{"T", mapping.target_variables_};
+  auto joint_tgd = [&]() {
+    std::vector<TgdAtom> body;
+    for (size_t k = 0; k < mapping.sources_.size(); ++k) {
+      body.push_back(source_atom(k));
+    }
+    return Tgd(std::move(body), head);
+  };
+  auto single_tgd = [&](size_t k) { return Tgd({source_atom(k)}, head); };
+
+  switch (kind) {
+    case rel::JoinKind::kInnerJoin:
+      mapping.tgds_ = {joint_tgd()};
+      break;
+    case rel::JoinKind::kLeftJoin:
+      mapping.tgds_ = {joint_tgd(), single_tgd(0)};
+      break;
+    case rel::JoinKind::kFullOuterJoin: {
+      mapping.tgds_.push_back(joint_tgd());
+      for (size_t k = 0; k < mapping.sources_.size(); ++k) {
+        mapping.tgds_.push_back(single_tgd(k));
+      }
+      break;
+    }
+    case rel::JoinKind::kUnion: {
+      for (size_t k = 0; k < mapping.sources_.size(); ++k) {
+        mapping.tgds_.push_back(single_tgd(k));
+      }
+      break;
+    }
+  }
+
+  // A joint tgd without a shared variable would be a cross product, which
+  // none of the Table I relationships intend.
+  if (kind != rel::JoinKind::kUnion && mapping.tgds_[0].JoinVariables().empty()) {
+    return Status::InvalidArgument(
+        "join scenario has no shared variables between sources; declare "
+        "source matches or map sources to common target columns");
+  }
+  return mapping;
+}
+
+std::vector<int64_t> SchemaMapping::TargetToSourceColumns(size_t k) const {
+  AMALUR_CHECK_LT(k, sources_.size()) << "source index";
+  std::vector<int64_t> out(target_schema_.num_fields(), -1);
+  for (size_t i = 0; i < target_schema_.num_fields(); ++i) {
+    const std::string& var = target_variables_[i];
+    for (size_t j = 0; j < source_variables_[k].size(); ++j) {
+      if (source_variables_[k][j] == var) {
+        out[i] = static_cast<int64_t>(j);
+        break;  // 1:n mappings take the first column (paper: future work)
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SchemaMapping::MappedColumns(size_t k) const {
+  const auto target_to_source = TargetToSourceColumns(k);
+  std::set<int64_t> mapped(target_to_source.begin(), target_to_source.end());
+  std::vector<std::string> out;
+  const rel::Schema& schema = sources_[k].schema;
+  for (size_t j = 0; j < schema.num_fields(); ++j) {
+    if (mapped.count(static_cast<int64_t>(j)) > 0) {
+      out.push_back(schema.field(j).name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SchemaMapping::JoinColumns(size_t k) const {
+  AMALUR_CHECK_LT(k, sources_.size()) << "source index";
+  if (kind_ == rel::JoinKind::kUnion || tgds_.empty()) return {};
+  std::set<std::string> join_vars;
+  for (const Tgd& tgd : tgds_) {
+    if (!tgd.IsJoint()) continue;
+    for (const std::string& var : tgd.JoinVariables()) join_vars.insert(var);
+  }
+  std::vector<std::string> out;
+  const rel::Schema& schema = sources_[k].schema;
+  for (size_t j = 0; j < schema.num_fields(); ++j) {
+    if (join_vars.count(source_variables_[k][j]) > 0) {
+      out.push_back(schema.field(j).name);
+    }
+  }
+  return out;
+}
+
+bool SchemaMapping::AllTgdsFull() const {
+  for (const Tgd& tgd : tgds_) {
+    if (!tgd.IsFull()) return false;
+  }
+  return true;
+}
+
+Result<rel::JoinKind> SchemaMapping::ClassifyTgds(const std::vector<Tgd>& tgds) {
+  if (tgds.empty()) return Status::InvalidArgument("no tgds");
+  size_t joint = 0;
+  size_t joint_body_size = 0;
+  std::set<std::string> single_relations;
+  for (const Tgd& tgd : tgds) {
+    if (tgd.IsJoint()) {
+      ++joint;
+      joint_body_size = tgd.body().size();
+    } else {
+      single_relations.insert(tgd.body()[0].relation);
+    }
+  }
+  if (joint > 1) return Status::InvalidArgument("multiple joint tgds");
+  if (joint == 1) {
+    if (single_relations.empty()) return rel::JoinKind::kInnerJoin;
+    if (single_relations.size() >= joint_body_size) {
+      return rel::JoinKind::kFullOuterJoin;
+    }
+    return rel::JoinKind::kLeftJoin;
+  }
+  if (single_relations.size() >= 2) return rel::JoinKind::kUnion;
+  return Status::InvalidArgument("single-source tgd set is not an integration");
+}
+
+std::string SchemaMapping::ToString() const {
+  std::ostringstream out;
+  out << "SchemaMapping[" << rel::JoinKindToString(kind_) << "]\n";
+  for (size_t i = 0; i < tgds_.size(); ++i) {
+    out << "  m" << i + 1 << ": " << tgds_[i].ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace integration
+}  // namespace amalur

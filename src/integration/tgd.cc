@@ -1,0 +1,92 @@
+#include "integration/tgd.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace amalur {
+namespace integration {
+
+std::string TgdAtom::ToString() const {
+  std::ostringstream out;
+  out << relation << "(";
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << variables[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+std::vector<std::string> Tgd::UniversalVariables() const {
+  std::vector<std::string> ordered;
+  std::set<std::string> seen;
+  for (const TgdAtom& atom : body_) {
+    for (const std::string& var : atom.variables) {
+      if (seen.insert(var).second) ordered.push_back(var);
+    }
+  }
+  return ordered;
+}
+
+std::vector<std::string> Tgd::ExistentialVariables() const {
+  std::set<std::string> universal;
+  for (const TgdAtom& atom : body_) {
+    universal.insert(atom.variables.begin(), atom.variables.end());
+  }
+  std::vector<std::string> existential;
+  std::set<std::string> seen;
+  for (const std::string& var : head_.variables) {
+    if (universal.count(var) == 0 && seen.insert(var).second) {
+      existential.push_back(var);
+    }
+  }
+  return existential;
+}
+
+std::vector<std::string> Tgd::JoinVariables() const {
+  std::vector<std::string> joined;
+  std::set<std::string> seen;
+  for (size_t i = 0; i < body_.size(); ++i) {
+    std::set<std::string> vars_i(body_[i].variables.begin(),
+                                 body_[i].variables.end());
+    for (size_t j = i + 1; j < body_.size(); ++j) {
+      for (const std::string& var : body_[j].variables) {
+        if (vars_i.count(var) > 0 && seen.insert(var).second) {
+          joined.push_back(var);
+        }
+      }
+    }
+  }
+  return joined;
+}
+
+std::string Tgd::ToString() const {
+  std::ostringstream out;
+  out << "∀ ";
+  const auto universal = UniversalVariables();
+  for (size_t i = 0; i < universal.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << universal[i];
+  }
+  out << " (";
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if (i > 0) out << " ∧ ";
+    out << body_[i].ToString();
+  }
+  out << " → ";
+  const auto existential = ExistentialVariables();
+  if (!existential.empty()) {
+    out << "∃ ";
+    for (size_t i = 0; i < existential.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << existential[i];
+    }
+    out << " ";
+  }
+  out << head_.ToString() << ")";
+  return out.str();
+}
+
+}  // namespace integration
+}  // namespace amalur

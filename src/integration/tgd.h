@@ -1,0 +1,70 @@
+#ifndef AMALUR_INTEGRATION_TGD_H_
+#define AMALUR_INTEGRATION_TGD_H_
+
+#include <string>
+#include <vector>
+
+/// \file tgd.h
+/// Source-to-target tuple-generating dependencies (s-t tgds), the mapping
+/// language of §III.A: first-order sentences ∀x (ϕ(x) → ∃y ψ(x, y)) where
+/// ϕ is a conjunction of source atoms and ψ a target atom. Mapped attributes
+/// share variable names across atoms (the paper's convention in Table I).
+
+namespace amalur {
+namespace integration {
+
+/// One relational atom, e.g. S1(m, n, a, hr).
+struct TgdAtom {
+  std::string relation;
+  std::vector<std::string> variables;
+
+  bool operator==(const TgdAtom& other) const {
+    return relation == other.relation && variables == other.variables;
+  }
+
+  /// "S1(m, n, a, hr)".
+  std::string ToString() const;
+};
+
+/// A source-to-target tgd with a conjunctive body and a single target head.
+class Tgd {
+ public:
+  Tgd(std::vector<TgdAtom> body, TgdAtom head)
+      : body_(std::move(body)), head_(std::move(head)) {}
+
+  const std::vector<TgdAtom>& body() const { return body_; }
+  const TgdAtom& head() const { return head_; }
+
+  /// Variables universally quantified: every variable occurring in the body.
+  std::vector<std::string> UniversalVariables() const;
+
+  /// Variables existentially quantified: head variables absent from the body.
+  std::vector<std::string> ExistentialVariables() const;
+
+  /// A *full* tgd has no existentially quantified variables (Example IV.1):
+  /// every target attribute is copied from some source attribute.
+  bool IsFull() const { return ExistentialVariables().empty(); }
+
+  /// True when the body joins two or more source relations.
+  bool IsJoint() const { return body_.size() >= 2; }
+
+  /// Variables shared by at least two body atoms — the join variables.
+  std::vector<std::string> JoinVariables() const;
+
+  bool operator==(const Tgd& other) const {
+    return body_ == other.body_ && head_ == other.head_;
+  }
+
+  /// Logic rendering, e.g.
+  /// "∀ m, n, a, hr (S1(m, n, a, hr) → ∃ o T(m, a, hr, o))".
+  std::string ToString() const;
+
+ private:
+  std::vector<TgdAtom> body_;
+  TgdAtom head_;
+};
+
+}  // namespace integration
+}  // namespace amalur
+
+#endif  // AMALUR_INTEGRATION_TGD_H_

@@ -1,0 +1,242 @@
+#include "la/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace amalur {
+namespace la {
+
+SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
+                                        std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    AMALUR_CHECK(t.row < rows && t.col < cols)
+        << "triplet (" << t.row << "," << t.col << ") out of " << rows << "x"
+        << cols;
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  std::vector<size_t> row_offsets(rows + 1, 0);
+  std::vector<size_t> col_indices;
+  std::vector<double> values;
+  col_indices.reserve(triplets.size());
+  values.reserve(triplets.size());
+
+  size_t i = 0;
+  while (i < triplets.size()) {
+    // Sum duplicates at the same coordinate.
+    double acc = triplets[i].value;
+    size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      acc += triplets[j].value;
+      ++j;
+    }
+    if (acc != 0.0) {
+      col_indices.push_back(triplets[i].col);
+      values.push_back(acc);
+      ++row_offsets[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  for (size_t r = 0; r < rows; ++r) row_offsets[r + 1] += row_offsets[r];
+  return SparseMatrix(rows, cols, std::move(row_offsets), std::move(col_indices),
+                      std::move(values));
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense, double epsilon) {
+  std::vector<Triplet> triplets;
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    for (size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense.At(i, j);
+      if (std::fabs(v) > epsilon) triplets.push_back({i, j, v});
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::Identity(size_t n) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(n);
+  for (size_t i = 0; i < n; ++i) triplets.push_back({i, i, 1.0});
+  return FromTriplets(n, n, std::move(triplets));
+}
+
+double SparseMatrix::At(size_t i, size_t j) const {
+  AMALUR_CHECK(i < rows_ && j < cols_) << "sparse At out of range";
+  const size_t begin = row_offsets_[i], end = row_offsets_[i + 1];
+  auto it = std::lower_bound(col_indices_.begin() + begin,
+                             col_indices_.begin() + end, j);
+  if (it != col_indices_.begin() + end && *it == j) {
+    return values_[static_cast<size_t>(it - col_indices_.begin())];
+  }
+  return 0.0;
+}
+
+DenseMatrix SparseMatrix::Multiply(const DenseMatrix& dense) const {
+  AMALUR_CHECK_EQ(cols_, dense.rows()) << "spmm shape mismatch";
+  DenseMatrix out(rows_, dense.cols());
+  const size_t n = dense.cols();
+  for (size_t i = 0; i < rows_; ++i) {
+    double* out_row = out.RowPtr(i);
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      const double v = values_[p];
+      const double* d_row = dense.RowPtr(col_indices_[p]);
+      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::TransposeMultiply(const DenseMatrix& dense) const {
+  AMALUR_CHECK_EQ(rows_, dense.rows()) << "spmmᵀ shape mismatch";
+  DenseMatrix out(cols_, dense.cols());
+  const size_t n = dense.cols();
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* d_row = dense.RowPtr(i);
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      const double v = values_[p];
+      double* out_row = out.RowPtr(col_indices_[p]);
+      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::LeftMultiply(const DenseMatrix& dense) const {
+  AMALUR_CHECK_EQ(dense.cols(), rows_) << "dense*sparse shape mismatch";
+  DenseMatrix out(dense.rows(), cols_);
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    const double* d_row = dense.RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t r = 0; r < rows_; ++r) {
+      const double d = d_row[r];
+      if (d == 0.0) continue;
+      for (size_t p = row_offsets_[r]; p < row_offsets_[r + 1]; ++p) {
+        out_row[col_indices_[p]] += d * values_[p];
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::LeftMultiplyTranspose(const DenseMatrix& dense) const {
+  AMALUR_CHECK_EQ(dense.cols(), cols_) << "dense*sparseᵀ shape mismatch";
+  DenseMatrix out(dense.rows(), rows_);
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    const double* d_row = dense.RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t r = 0; r < rows_; ++r) {
+      double acc = 0.0;
+      for (size_t p = row_offsets_[r]; p < row_offsets_[r + 1]; ++p) {
+        acc += d_row[col_indices_[p]] * values_[p];
+      }
+      out_row[r] = acc;
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::MultiplySparse(const SparseMatrix& other) const {
+  AMALUR_CHECK_EQ(cols_, other.rows_) << "spgemm shape mismatch";
+  std::vector<Triplet> triplets;
+  std::vector<double> accumulator(other.cols_, 0.0);
+  std::vector<size_t> touched;
+  for (size_t i = 0; i < rows_; ++i) {
+    touched.clear();
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      const double v = values_[p];
+      const size_t r = col_indices_[p];
+      for (size_t q = other.row_offsets_[r]; q < other.row_offsets_[r + 1]; ++q) {
+        const size_t c = other.col_indices_[q];
+        if (accumulator[c] == 0.0) touched.push_back(c);
+        accumulator[c] += v * other.values_[q];
+      }
+    }
+    for (size_t c : touched) {
+      if (accumulator[c] != 0.0) triplets.push_back({i, c, accumulator[c]});
+      accumulator[c] = 0.0;
+    }
+  }
+  return FromTriplets(rows_, other.cols_, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      triplets.push_back({col_indices_[p], i, values_[p]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::Scale(double factor) const {
+  SparseMatrix out = *this;
+  for (double& v : out.values_) v *= factor;
+  return out;
+}
+
+DenseMatrix SparseMatrix::RowSums() const {
+  DenseMatrix out(rows_, 1);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) acc += values_[p];
+    out.At(i, 0) = acc;
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::ColSums() const {
+  DenseMatrix out(1, cols_);
+  for (size_t p = 0; p < values_.size(); ++p) {
+    out.At(0, col_indices_[p]) += values_[p];
+  }
+  return out;
+}
+
+double SparseMatrix::Sum() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      out.At(i, col_indices_[p]) = values_[p];
+    }
+  }
+  return out;
+}
+
+bool SparseMatrix::ApproxEquals(const SparseMatrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  // Nonzero structures may differ (explicit zeros); compare via dense walk of
+  // both triplet lists.
+  return ToDense().ApproxEquals(other.ToDense(), tolerance);
+}
+
+std::string SparseMatrix::ToString(int max_entries) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " sparse, nnz=" << nnz() << "\n";
+  int shown = 0;
+  for (size_t i = 0; i < rows_ && shown < max_entries; ++i) {
+    for (size_t p = row_offsets_[i];
+         p < row_offsets_[i + 1] && shown < max_entries; ++p, ++shown) {
+      out << "  (" << i << "," << col_indices_[p] << ") = " << values_[p] << "\n";
+    }
+  }
+  if (static_cast<size_t>(shown) < nnz()) {
+    out << "  ... (" << nnz() - static_cast<size_t>(shown) << " more)\n";
+  }
+  return out.str();
+}
+
+}  // namespace la
+}  // namespace amalur

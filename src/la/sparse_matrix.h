@@ -1,0 +1,108 @@
+#ifndef AMALUR_LA_SPARSE_MATRIX_H_
+#define AMALUR_LA_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "la/dense_matrix.h"
+
+/// \file sparse_matrix.h
+/// Compressed sparse row (CSR) matrix. The paper's mapping matrices `M_k`,
+/// indicator matrices `I_k` and redundancy masks are extremely sparse binary
+/// matrices (at most one nonzero per row/column block); CSR keeps both their
+/// storage and the rewrite-rule multiplications proportional to nnz.
+
+namespace amalur {
+namespace la {
+
+/// One (row, col, value) entry used to build a sparse matrix.
+struct Triplet {
+  size_t row;
+  size_t col;
+  double value;
+};
+
+/// Immutable CSR sparse matrix of doubles.
+class SparseMatrix {
+ public:
+  /// An empty 0x0 matrix.
+  SparseMatrix() : rows_(0), cols_(0), row_offsets_{0} {}
+
+  /// Builds from coordinate triplets; duplicate coordinates are summed and
+  /// explicit zeros dropped.
+  static SparseMatrix FromTriplets(size_t rows, size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Builds from a dense matrix, keeping entries with |v| > `epsilon`.
+  static SparseMatrix FromDense(const DenseMatrix& dense, double epsilon = 0.0);
+
+  /// Sparse identity of size n.
+  static SparseMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Fraction of nonzero cells (0 for an empty matrix).
+  double Density() const {
+    const size_t cells = rows_ * cols_;
+    return cells == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(cells);
+  }
+
+  const std::vector<size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<size_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Value at (i, j); O(log nnz(row i)).
+  double At(size_t i, size_t j) const;
+
+  /// `this * dense` -> dense (SpMM).
+  DenseMatrix Multiply(const DenseMatrix& dense) const;
+  /// `thisᵀ * dense` -> dense, without materializing the transpose.
+  DenseMatrix TransposeMultiply(const DenseMatrix& dense) const;
+  /// `dense * this` -> dense.
+  DenseMatrix LeftMultiply(const DenseMatrix& dense) const;
+  /// `dense * thisᵀ` -> dense.
+  DenseMatrix LeftMultiplyTranspose(const DenseMatrix& dense) const;
+  /// `this * other` -> sparse (SpGEMM, row-by-row accumulation).
+  SparseMatrix MultiplySparse(const SparseMatrix& other) const;
+
+  SparseMatrix Transpose() const;
+
+  /// Element-wise scaling.
+  SparseMatrix Scale(double factor) const;
+
+  /// Per-row sums as an rows()x1 dense column vector.
+  DenseMatrix RowSums() const;
+  /// Per-column sums as a 1xcols() dense row vector.
+  DenseMatrix ColSums() const;
+  double Sum() const;
+
+  DenseMatrix ToDense() const;
+
+  bool ApproxEquals(const SparseMatrix& other, double tolerance = 1e-9) const;
+
+  /// Compact rendering of the triplet list (for tests and debugging).
+  std::string ToString(int max_entries = 16) const;
+
+ private:
+  SparseMatrix(size_t rows, size_t cols, std::vector<size_t> row_offsets,
+               std::vector<size_t> col_indices, std::vector<double> values)
+      : rows_(rows),
+        cols_(cols),
+        row_offsets_(std::move(row_offsets)),
+        col_indices_(std::move(col_indices)),
+        values_(std::move(values)) {}
+
+  size_t rows_;
+  size_t cols_;
+  std::vector<size_t> row_offsets_;  // size rows_ + 1
+  std::vector<size_t> col_indices_;  // size nnz, sorted within each row
+  std::vector<double> values_;       // size nnz
+};
+
+}  // namespace la
+}  // namespace amalur
+
+#endif  // AMALUR_LA_SPARSE_MATRIX_H_

@@ -1,0 +1,257 @@
+#include "metadata/di_metadata.h"
+
+#include <sstream>
+
+#include "integration/entity_resolution.h"
+
+namespace amalur {
+namespace metadata {
+
+namespace {
+
+/// Builds D_k, its column names and CM_k for source k of the mapping.
+Status BuildColumns(const integration::SchemaMapping& mapping, size_t k,
+                    const rel::Table& table, la::DenseMatrix* data,
+                    std::vector<std::string>* column_names,
+                    std::vector<int64_t>* cm, std::vector<size_t>* schema_cols) {
+  const std::vector<int64_t> target_to_schema = mapping.TargetToSourceColumns(k);
+  const std::vector<std::string> mapped = mapping.MappedColumns(k);
+
+  // D_k layout: mapped columns in source-schema order.
+  std::vector<size_t> indices;
+  std::vector<int64_t> schema_to_dk(table.NumColumns(), -1);
+  for (const std::string& name : mapped) {
+    AMALUR_ASSIGN_OR_RETURN(size_t index, table.ColumnIndex(name));
+    schema_to_dk[index] = static_cast<int64_t>(indices.size());
+    indices.push_back(index);
+    column_names->push_back(name);
+  }
+  AMALUR_ASSIGN_OR_RETURN(*data, table.ToMatrix(indices));
+
+  cm->assign(target_to_schema.size(), -1);
+  for (size_t i = 0; i < target_to_schema.size(); ++i) {
+    const int64_t schema_col = target_to_schema[i];
+    if (schema_col >= 0) {
+      (*cm)[i] = schema_to_dk[static_cast<size_t>(schema_col)];
+    }
+  }
+  *schema_cols = indices;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DiMetadata> DiMetadata::Derive(const integration::SchemaMapping& mapping,
+                                      const std::vector<const rel::Table*>& tables,
+                                      const rel::RowMatching& matching) {
+  if (tables.size() != mapping.num_sources()) {
+    return Status::InvalidArgument("expected ", mapping.num_sources(),
+                                   " tables, got ", tables.size());
+  }
+  if (tables.size() != 2) {
+    return Status::Unimplemented(
+        "metadata derivation currently handles two-source scenarios");
+  }
+  const rel::Table& base = *tables[0];
+  const rel::Table& other = *tables[1];
+  for (const auto& [l, r] : matching.matched) {
+    if (l >= base.NumRows() || r >= other.NumRows()) {
+      return Status::OutOfRange("row match (", l, ",", r, ") out of range");
+    }
+  }
+
+  DiMetadata metadata;
+  metadata.kind_ = mapping.kind();
+  metadata.target_schema_ = mapping.target_schema();
+  metadata.target_cols_ = metadata.target_schema_.num_fields();
+
+  // ---- Target row layout (Figure 4 convention).
+  std::vector<int64_t> ci_base;
+  std::vector<int64_t> ci_other;
+  const auto push = [&](int64_t b, int64_t o) {
+    ci_base.push_back(b);
+    ci_other.push_back(o);
+  };
+  switch (mapping.kind()) {
+    case rel::JoinKind::kInnerJoin:
+      for (const auto& [l, r] : matching.matched) {
+        push(static_cast<int64_t>(l), static_cast<int64_t>(r));
+      }
+      break;
+    case rel::JoinKind::kLeftJoin:
+      for (const auto& [l, r] : matching.matched) {
+        push(static_cast<int64_t>(l), static_cast<int64_t>(r));
+      }
+      for (size_t l : matching.left_only) push(static_cast<int64_t>(l), -1);
+      break;
+    case rel::JoinKind::kFullOuterJoin:
+      for (const auto& [l, r] : matching.matched) {
+        push(static_cast<int64_t>(l), static_cast<int64_t>(r));
+      }
+      for (size_t l : matching.left_only) push(static_cast<int64_t>(l), -1);
+      for (size_t r : matching.right_only) push(-1, static_cast<int64_t>(r));
+      break;
+    case rel::JoinKind::kUnion:
+      for (size_t l = 0; l < base.NumRows(); ++l) {
+        push(static_cast<int64_t>(l), -1);
+      }
+      for (size_t r = 0; r < other.NumRows(); ++r) {
+        push(-1, static_cast<int64_t>(r));
+      }
+      break;
+  }
+  metadata.target_rows_ = ci_base.size();
+
+  // ---- Per-source metadata.
+  std::vector<CompressedMapping> mappings;
+  std::vector<CompressedIndicator> indicators;
+  std::vector<la::DenseMatrix> data(2);
+  std::vector<std::vector<std::string>> names(2);
+  std::vector<std::vector<size_t>> schema_cols(2);
+  for (size_t k = 0; k < 2; ++k) {
+    std::vector<int64_t> cm;
+    AMALUR_RETURN_NOT_OK(BuildColumns(mapping, k, *tables[k], &data[k],
+                                      &names[k], &cm, &schema_cols[k]));
+    mappings.emplace_back(std::move(cm), data[k].cols());
+    indicators.emplace_back(k == 0 ? ci_base : ci_other, data[k].rows());
+  }
+
+  for (size_t k = 0; k < 2; ++k) {
+    SourceMetadata source{
+        mapping.source(k).name,
+        std::move(data[k]),
+        std::move(names[k]),
+        mappings[k],
+        indicators[k],
+        RedundancyMask::Derive(k, indicators, mappings),
+        tables[k]->Project(schema_cols[k]).NullRatio(),
+        integration::DuplicateRatio(*tables[k], schema_cols[k]),
+    };
+    metadata.sources_.push_back(std::move(source));
+  }
+  return metadata;
+}
+
+Result<DiMetadata> DiMetadata::DeriveStar(
+    const integration::SchemaMapping& mapping,
+    const std::vector<const rel::Table*>& tables,
+    const std::vector<rel::RowMatching>& matchings) {
+  if (tables.size() != mapping.num_sources()) {
+    return Status::InvalidArgument("expected ", mapping.num_sources(),
+                                   " tables, got ", tables.size());
+  }
+  if (tables.size() < 2) {
+    return Status::InvalidArgument("a star scenario needs >= 2 sources");
+  }
+  if (matchings.size() != tables.size() - 1) {
+    return Status::InvalidArgument("expected ", tables.size() - 1,
+                                   " matchings, got ", matchings.size());
+  }
+  if (mapping.kind() != rel::JoinKind::kLeftJoin) {
+    return Status::InvalidArgument(
+        "star derivation is the left-join relationship (base retained)");
+  }
+  const size_t n_sources = tables.size();
+  const size_t base_rows = tables[0]->NumRows();
+
+  DiMetadata metadata;
+  metadata.kind_ = mapping.kind();
+  metadata.target_schema_ = mapping.target_schema();
+  metadata.target_cols_ = metadata.target_schema_.num_fields();
+  metadata.target_rows_ = base_rows;
+
+  // CI vectors: base = identity; dimension k from its matching (functional).
+  std::vector<std::vector<int64_t>> ci(n_sources);
+  ci[0].resize(base_rows);
+  for (size_t i = 0; i < base_rows; ++i) ci[0][i] = static_cast<int64_t>(i);
+  for (size_t k = 1; k < n_sources; ++k) {
+    ci[k].assign(base_rows, -1);
+    for (const auto& [base_row, dim_row] : matchings[k - 1].matched) {
+      if (base_row >= base_rows || dim_row >= tables[k]->NumRows()) {
+        return Status::OutOfRange("row match out of range for source ", k);
+      }
+      if (ci[k][base_row] != -1) {
+        return Status::FailedPrecondition(
+            "base row ", base_row, " matches several rows of source ", k,
+            "; star derivation requires a functional matching");
+      }
+      ci[k][base_row] = static_cast<int64_t>(dim_row);
+    }
+  }
+
+  std::vector<CompressedMapping> mappings;
+  std::vector<CompressedIndicator> indicators;
+  std::vector<la::DenseMatrix> data(n_sources);
+  std::vector<std::vector<std::string>> names(n_sources);
+  std::vector<std::vector<size_t>> schema_cols(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    std::vector<int64_t> cm;
+    AMALUR_RETURN_NOT_OK(BuildColumns(mapping, k, *tables[k], &data[k],
+                                      &names[k], &cm, &schema_cols[k]));
+    mappings.emplace_back(std::move(cm), data[k].cols());
+    indicators.emplace_back(ci[k], data[k].rows());
+  }
+  for (size_t k = 0; k < n_sources; ++k) {
+    SourceMetadata source{
+        mapping.source(k).name,
+        std::move(data[k]),
+        std::move(names[k]),
+        mappings[k],
+        indicators[k],
+        RedundancyMask::Derive(k, indicators, mappings),
+        tables[k]->Project(schema_cols[k]).NullRatio(),
+        integration::DuplicateRatio(*tables[k], schema_cols[k]),
+    };
+    metadata.sources_.push_back(std::move(source));
+  }
+  return metadata;
+}
+
+la::DenseMatrix DiMetadata::SourceContribution(size_t k) const {
+  const SourceMetadata& s = source(k);
+  // I_k (D_k M_kᵀ): expand columns to target layout, then route rows.
+  return s.indicator.ExpandRows(s.mapping.ExpandColumns(s.data));
+}
+
+la::DenseMatrix DiMetadata::MaterializeTargetMatrix() const {
+  la::DenseMatrix target(target_rows_, target_cols_);
+  for (size_t k = 0; k < sources_.size(); ++k) {
+    la::DenseMatrix contribution = SourceContribution(k);
+    sources_[k].redundancy.ApplyInPlace(&contribution);
+    target.AddInPlace(contribution);
+  }
+  return target;
+}
+
+double DiMetadata::TupleRatio(size_t k) const {
+  const SourceMetadata& s = source(k);
+  return s.data.rows() == 0
+             ? 0.0
+             : static_cast<double>(target_rows_) /
+                   static_cast<double>(s.data.rows());
+}
+
+double DiMetadata::FeatureRatio(size_t k) const {
+  const SourceMetadata& s = source(k);
+  return s.data.cols() == 0
+             ? 0.0
+             : static_cast<double>(target_cols_) /
+                   static_cast<double>(s.data.cols());
+}
+
+std::string DiMetadata::ToString() const {
+  std::ostringstream out;
+  out << "DiMetadata[" << rel::JoinKindToString(kind_) << ", T " << target_rows_
+      << "x" << target_cols_ << "]\n";
+  for (size_t k = 0; k < sources_.size(); ++k) {
+    const SourceMetadata& s = sources_[k];
+    out << "  " << s.name << ": D " << s.data.rows() << "x" << s.data.cols()
+        << ", " << s.mapping.ToString() << ", TR=" << TupleRatio(k)
+        << ", FR=" << FeatureRatio(k) << ", null=" << s.null_ratio
+        << ", dup=" << s.duplicate_ratio << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace metadata
+}  // namespace amalur

@@ -1,0 +1,106 @@
+#ifndef AMALUR_METADATA_DI_METADATA_H_
+#define AMALUR_METADATA_DI_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "integration/schema_mapping.h"
+#include "metadata/indicator_matrix.h"
+#include "metadata/mapping_matrix.h"
+#include "metadata/redundancy_matrix.h"
+#include "relational/join.h"
+#include "relational/table.h"
+
+/// \file di_metadata.h
+/// The "tale of three matrices" (§III): for one integration scenario, the
+/// per-source processed data matrix `D_k`, compressed mapping `CM_k`,
+/// compressed indicator `CI_k` and redundancy mask `R_k`, derived from a
+/// schema mapping and a row matching (entity-resolution output).
+///
+/// Target row ordering follows Figure 4: matched rows first (in match order),
+/// then base-only rows, then other-only rows (when the dataset relationship
+/// keeps them). This is also the ordering the relational materializer emits,
+/// so matrix-level and table-level materialization agree row by row.
+
+namespace amalur {
+namespace metadata {
+
+/// Everything the factorized runtime needs to know about one source.
+struct SourceMetadata {
+  std::string name;
+  /// D_k: the source's mapped numeric columns (NULL -> 0), rS_k × cS_k.
+  la::DenseMatrix data;
+  /// Column names of D_k, in order.
+  std::vector<std::string> column_names;
+  CompressedMapping mapping;
+  CompressedIndicator indicator;
+  RedundancyMask redundancy;
+  /// NULL fraction over the mapped columns (cost-model feature).
+  double null_ratio = 0.0;
+  /// Within-source exact-duplicate fraction over mapped columns
+  /// (cost-model feature: "redundancy in source tables").
+  double duplicate_ratio = 0.0;
+};
+
+/// Derived DI metadata for a full integration scenario.
+class DiMetadata {
+ public:
+  /// Empty metadata (no sources); fill via `Derive`.
+  DiMetadata() = default;
+
+  /// Derives metadata for a two-source scenario. `matching` is the row
+  /// matching between `tables[0]` (base) and `tables[1]` — from entity
+  /// resolution or key equality. For `kUnion` the matching is ignored.
+  static Result<DiMetadata> Derive(const integration::SchemaMapping& mapping,
+                                   const std::vector<const rel::Table*>& tables,
+                                   const rel::RowMatching& matching);
+
+  /// Derives metadata for an n-source *star* scenario (left joins from one
+  /// base/fact table to n−1 dimension tables — the generalization of
+  /// Table I's definitions the factorized-learning literature targets).
+  /// `tables[0]` is the base; `matchings[k-1]` relates base rows to
+  /// `tables[k]` rows and must be functional (each base row matches at most
+  /// one row per dimension; dimension rows may serve many base rows).
+  /// Target rows are the base rows in order.
+  static Result<DiMetadata> DeriveStar(
+      const integration::SchemaMapping& mapping,
+      const std::vector<const rel::Table*>& tables,
+      const std::vector<rel::RowMatching>& matchings);
+
+  size_t num_sources() const { return sources_.size(); }
+  const SourceMetadata& source(size_t k) const {
+    AMALUR_CHECK_LT(k, sources_.size()) << "source index";
+    return sources_[k];
+  }
+  size_t target_rows() const { return target_rows_; }
+  size_t target_cols() const { return target_cols_; }
+  const rel::Schema& target_schema() const { return target_schema_; }
+  rel::JoinKind kind() const { return kind_; }
+
+  /// T_k = I_k D_k M_kᵀ — the source's (unmasked) contribution (Figure 4c).
+  la::DenseMatrix SourceContribution(size_t k) const;
+
+  /// T = Σ_k (T_k ∘ R_k): the materialized target in matrix form, absent
+  /// cells as 0 (the paper's convention).
+  la::DenseMatrix MaterializeTargetMatrix() const;
+
+  /// Tuple ratio rT / rS_k and feature ratio cT / cS_k of source k — the
+  /// Morpheus heuristic features (§IV.B).
+  double TupleRatio(size_t k) const;
+  double FeatureRatio(size_t k) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<SourceMetadata> sources_;
+  size_t target_rows_ = 0;
+  size_t target_cols_ = 0;
+  rel::Schema target_schema_;
+  rel::JoinKind kind_ = rel::JoinKind::kInnerJoin;
+};
+
+}  // namespace metadata
+}  // namespace amalur
+
+#endif  // AMALUR_METADATA_DI_METADATA_H_

@@ -1,0 +1,60 @@
+#include "ml/gnmf.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace amalur {
+namespace ml {
+
+GnmfModel TrainGnmf(const TrainingMatrix& data, const GnmfOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t r = options.rank;
+  AMALUR_CHECK(r > 0) << "rank must be positive";
+
+  Rng rng(options.seed);
+  GnmfModel model{la::DenseMatrix::RandomUniform(n, r, 0.1, 1.0, &rng),
+                  la::DenseMatrix::RandomUniform(r, d, 0.1, 1.0, &rng),
+                  {}};
+  model.loss_history.reserve(options.iterations);
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    // ---- W update: W ∘ (T Hᵀ) / (W H Hᵀ).
+    la::DenseMatrix t_ht = data.LeftMultiply(model.h.Transpose());      // n × r
+    la::DenseMatrix hht = model.h.MultiplyTranspose(model.h);           // r × r
+    la::DenseMatrix w_hht = model.w.Multiply(hht);                      // n × r
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < r; ++j) {
+        const double denom = std::max(w_hht.At(i, j), options.epsilon);
+        model.w.At(i, j) =
+            std::max(0.0, model.w.At(i, j) * t_ht.At(i, j) / denom);
+      }
+    }
+    // ---- H update: H ∘ (Wᵀ T) / (Wᵀ W H).
+    la::DenseMatrix wt_t = data.TransposeLeftMultiply(model.w).Transpose();
+    la::DenseMatrix wtw = model.w.TransposeMultiply(model.w);           // r × r
+    la::DenseMatrix wtw_h = wtw.Multiply(model.h);                      // r × d
+    for (size_t i = 0; i < r; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        const double denom = std::max(wtw_h.At(i, j), options.epsilon);
+        model.h.At(i, j) =
+            std::max(0.0, model.h.At(i, j) * wt_t.At(i, j) / denom);
+      }
+    }
+    // ---- Loss ||T − WH||²_F = ||T||² − 2⟨T, WH⟩ + ||WH||², computed
+    // without materializing T: ⟨T, WH⟩ = ⟨THᵀ', W⟩ with the fresh H.
+    la::DenseMatrix t_ht_fresh = data.LeftMultiply(model.h.Transpose());
+    const double t_norm = data.RowSquaredNorms().Sum();
+    const double cross = t_ht_fresh.Hadamard(model.w).Sum();
+    la::DenseMatrix hht_fresh = model.h.MultiplyTranspose(model.h);
+    const double wh_norm =
+        model.w.Multiply(hht_fresh).Hadamard(model.w).Sum();
+    model.loss_history.push_back(t_norm - 2.0 * cross + wh_norm);
+  }
+  return model;
+}
+
+}  // namespace ml
+}  // namespace amalur

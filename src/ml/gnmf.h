@@ -1,0 +1,43 @@
+#ifndef AMALUR_ML_GNMF_H_
+#define AMALUR_ML_GNMF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "ml/training_matrix.h"
+
+/// \file gnmf.h
+/// Gaussian non-negative matrix factorization T ≈ W·H with multiplicative
+/// updates (Lee & Seung). The data-touching products T·Hᵀ and Wᵀ·T are the
+/// factorizable operators; everything else is rank-r small. The fourth
+/// Morpheus workload class ([27]).
+
+namespace amalur {
+namespace ml {
+
+/// Hyper-parameters for GNMF.
+struct GnmfOptions {
+  size_t rank = 4;
+  size_t iterations = 30;
+  uint64_t seed = 11;
+  /// Update denominators are clamped to this floor for stability.
+  double epsilon = 1e-12;
+};
+
+/// A fitted factorization.
+struct GnmfModel {
+  la::DenseMatrix w;  // rows × rank, non-negative
+  la::DenseMatrix h;  // rank × cols, non-negative
+  /// Squared Frobenius reconstruction error per iteration.
+  std::vector<double> loss_history;
+};
+
+/// Runs multiplicative-update GNMF. The input should be non-negative for the
+/// classic convergence guarantees; updates clamp at zero regardless.
+GnmfModel TrainGnmf(const TrainingMatrix& data, const GnmfOptions& options);
+
+}  // namespace ml
+}  // namespace amalur
+
+#endif  // AMALUR_ML_GNMF_H_

@@ -1,0 +1,73 @@
+#include "ml/kmeans.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace amalur {
+namespace ml {
+
+KMeansModel TrainKMeans(const TrainingMatrix& data, const KMeansOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = options.clusters;
+  AMALUR_CHECK(k > 0 && k <= n) << "clusters must be in [1, rows]";
+
+  // Initial centroids: k distinct rows, extracted via one-hot LMMᵀ probes.
+  Rng rng(options.seed);
+  const std::vector<size_t> seeds = rng.SampleWithoutReplacement(n, k);
+  la::DenseMatrix selector(n, k);
+  for (size_t j = 0; j < k; ++j) selector.At(seeds[j], j) = 1.0;
+  // centroids = (Dᵀ · selector)ᵀ: k × d.
+  la::DenseMatrix centroids = data.TransposeLeftMultiply(selector).Transpose();
+
+  KMeansModel model{std::move(centroids), std::vector<size_t>(n, 0), {}};
+  const la::DenseMatrix row_norms = data.RowSquaredNorms();  // n × 1
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    // Cross term: D · Cᵀ (n × k) — the factorizable LMM.
+    la::DenseMatrix cross = data.LeftMultiply(model.centroids.Transpose());
+    // Centroid norms (k × 1).
+    std::vector<double> centroid_norms(k, 0.0);
+    for (size_t j = 0; j < k; ++j) {
+      const double* c = model.centroids.RowPtr(j);
+      for (size_t f = 0; f < d; ++f) centroid_norms[j] += c[f] * c[f];
+    }
+    // Assignment + inertia.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_j = 0;
+      for (size_t j = 0; j < k; ++j) {
+        const double dist =
+            row_norms.At(i, 0) - 2.0 * cross.At(i, j) + centroid_norms[j];
+        if (dist < best) {
+          best = dist;
+          best_j = j;
+        }
+      }
+      model.assignments[i] = best_j;
+      inertia += best < 0.0 ? 0.0 : best;  // clamp tiny negative round-off
+    }
+    model.inertia_history.push_back(inertia);
+
+    // Update: C = (Dᵀ A)ᵀ / counts, A = one-hot assignment matrix (n × k).
+    la::DenseMatrix assignment(n, k);
+    std::vector<double> counts(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      assignment.At(i, model.assignments[i]) = 1.0;
+      counts[model.assignments[i]] += 1.0;
+    }
+    la::DenseMatrix sums = data.TransposeLeftMultiply(assignment);  // d × k
+    for (size_t j = 0; j < k; ++j) {
+      if (counts[j] == 0.0) continue;  // empty cluster keeps its centroid
+      for (size_t f = 0; f < d; ++f) {
+        model.centroids.At(j, f) = sums.At(f, j) / counts[j];
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace ml
+}  // namespace amalur

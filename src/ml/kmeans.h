@@ -1,0 +1,45 @@
+#ifndef AMALUR_ML_KMEANS_H_
+#define AMALUR_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/dense_matrix.h"
+#include "ml/training_matrix.h"
+
+/// \file kmeans.h
+/// Lloyd's k-means over a `TrainingMatrix`. The distance computation is
+/// expressed as ||x−c||² = ||x||² − 2·x·cᵀ + ||c||², whose data-dependent
+/// terms are one factorizable LMM (X·Cᵀ) and the row-norm aggregate — the
+/// classic factorized k-means formulation of [27].
+
+namespace amalur {
+namespace ml {
+
+/// Hyper-parameters for k-means.
+struct KMeansOptions {
+  size_t clusters = 4;
+  size_t iterations = 20;
+  /// Seed for centroid initialization (random distinct rows).
+  uint64_t seed = 7;
+};
+
+/// A fitted clustering.
+struct KMeansModel {
+  /// clusters × cols centroid matrix.
+  la::DenseMatrix centroids;
+  /// Per-row cluster assignment.
+  std::vector<size_t> assignments;
+  /// Within-cluster sum of squares per iteration.
+  std::vector<double> inertia_history;
+};
+
+/// Runs Lloyd's algorithm. Initial centroids are distinct data rows chosen
+/// by seeded sampling; empty clusters keep their previous centroid.
+KMeansModel TrainKMeans(const TrainingMatrix& data, const KMeansOptions& options);
+
+}  // namespace ml
+}  // namespace amalur
+
+#endif  // AMALUR_ML_KMEANS_H_

@@ -1,0 +1,68 @@
+#include "ml/linear_models.h"
+
+#include "common/logging.h"
+#include "ml/metrics.h"
+
+namespace amalur {
+namespace ml {
+
+namespace {
+
+void CheckLabels(const TrainingMatrix& features, const la::DenseMatrix& labels) {
+  AMALUR_CHECK(labels.rows() == features.rows() && labels.cols() == 1)
+      << "labels must be rows×1";
+}
+
+}  // namespace
+
+LinearModel TrainLinearRegression(const TrainingMatrix& features,
+                                  const la::DenseMatrix& labels,
+                                  const GradientDescentOptions& options) {
+  CheckLabels(features, labels);
+  const double n = static_cast<double>(features.rows());
+  LinearModel model{la::DenseMatrix(features.cols(), 1), {}};
+  model.loss_history.reserve(options.iterations);
+  for (size_t it = 0; it < options.iterations; ++it) {
+    la::DenseMatrix predictions = features.LeftMultiply(model.weights);
+    la::DenseMatrix residual = predictions.Subtract(labels);
+    model.loss_history.push_back(MeanSquaredError(predictions, labels));
+    la::DenseMatrix gradient = features.TransposeLeftMultiply(residual);
+    gradient.ScaleInPlace(1.0 / n);
+    if (options.l2 > 0.0) gradient.AddScaled(model.weights, options.l2);
+    model.weights.AddScaled(gradient, -options.learning_rate);
+  }
+  return model;
+}
+
+LinearModel TrainLogisticRegression(const TrainingMatrix& features,
+                                    const la::DenseMatrix& labels,
+                                    const GradientDescentOptions& options) {
+  CheckLabels(features, labels);
+  const double n = static_cast<double>(features.rows());
+  LinearModel model{la::DenseMatrix(features.cols(), 1), {}};
+  model.loss_history.reserve(options.iterations);
+  for (size_t it = 0; it < options.iterations; ++it) {
+    la::DenseMatrix probabilities =
+        Sigmoid(features.LeftMultiply(model.weights));
+    model.loss_history.push_back(LogLoss(probabilities, labels));
+    la::DenseMatrix residual = probabilities.Subtract(labels);
+    la::DenseMatrix gradient = features.TransposeLeftMultiply(residual);
+    gradient.ScaleInPlace(1.0 / n);
+    if (options.l2 > 0.0) gradient.AddScaled(model.weights, options.l2);
+    model.weights.AddScaled(gradient, -options.learning_rate);
+  }
+  return model;
+}
+
+la::DenseMatrix PredictLinear(const TrainingMatrix& features,
+                              const la::DenseMatrix& weights) {
+  return features.LeftMultiply(weights);
+}
+
+la::DenseMatrix PredictLogistic(const TrainingMatrix& features,
+                                const la::DenseMatrix& weights) {
+  return Sigmoid(features.LeftMultiply(weights));
+}
+
+}  // namespace ml
+}  // namespace amalur

@@ -1,0 +1,57 @@
+#ifndef AMALUR_ML_LINEAR_MODELS_H_
+#define AMALUR_ML_LINEAR_MODELS_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "ml/training_matrix.h"
+
+/// \file linear_models.h
+/// Gradient-descent linear and logistic regression over a `TrainingMatrix`.
+/// These are the canonical factorized-learning workloads ([27], [51]): every
+/// training step is one LMM (forward) and one transpose-LMM (gradient), so
+/// the factorization rewrites apply end to end.
+
+namespace amalur {
+namespace ml {
+
+/// Shared hyper-parameters for the GD trainers.
+struct GradientDescentOptions {
+  size_t iterations = 100;
+  double learning_rate = 0.1;
+  /// L2 regularization strength (0 = off).
+  double l2 = 0.0;
+};
+
+/// A trained linear model: weights (cols×1) and the per-iteration loss.
+struct LinearModel {
+  la::DenseMatrix weights;
+  std::vector<double> loss_history;
+};
+
+/// Least-squares linear regression:
+///   w ← w − η ( Fᵀ(Fw − y)/n + λw ).
+/// `labels` is rows×1. Loss history records MSE per iteration.
+LinearModel TrainLinearRegression(const TrainingMatrix& features,
+                                  const la::DenseMatrix& labels,
+                                  const GradientDescentOptions& options = {});
+
+/// Binary logistic regression:
+///   w ← w − η ( Fᵀ(σ(Fw) − y)/n + λw ).
+/// `labels` must be 0/1. Loss history records log-loss per iteration.
+LinearModel TrainLogisticRegression(const TrainingMatrix& features,
+                                    const la::DenseMatrix& labels,
+                                    const GradientDescentOptions& options = {});
+
+/// Predictions Fw (rows×1).
+la::DenseMatrix PredictLinear(const TrainingMatrix& features,
+                              const la::DenseMatrix& weights);
+
+/// Probabilities σ(Fw) (rows×1).
+la::DenseMatrix PredictLogistic(const TrainingMatrix& features,
+                                const la::DenseMatrix& weights);
+
+}  // namespace ml
+}  // namespace amalur
+
+#endif  // AMALUR_ML_LINEAR_MODELS_H_

@@ -1,0 +1,30 @@
+#ifndef AMALUR_ML_METRICS_H_
+#define AMALUR_ML_METRICS_H_
+
+#include "la/dense_matrix.h"
+
+/// \file metrics.h
+/// Evaluation metrics for the ML workloads.
+
+namespace amalur {
+namespace ml {
+
+/// Mean squared error between predictions and labels (both n×1).
+double MeanSquaredError(const la::DenseMatrix& predictions,
+                        const la::DenseMatrix& labels);
+
+/// Binary log-loss for probabilities in (0,1) against 0/1 labels (both n×1);
+/// probabilities are clamped away from {0,1} for stability.
+double LogLoss(const la::DenseMatrix& probabilities, const la::DenseMatrix& labels);
+
+/// Fraction of correct 0/1 predictions at threshold 0.5.
+double BinaryAccuracy(const la::DenseMatrix& probabilities,
+                      const la::DenseMatrix& labels);
+
+/// Numerically stable logistic function applied element-wise.
+la::DenseMatrix Sigmoid(const la::DenseMatrix& x);
+
+}  // namespace ml
+}  // namespace amalur
+
+#endif  // AMALUR_ML_METRICS_H_

@@ -1,0 +1,219 @@
+#include "relational/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace amalur {
+namespace rel {
+
+std::vector<std::string> SiloPair::TargetFeatureNames() const {
+  std::vector<std::string> names = shared_feature_names;
+  names.insert(names.end(), base_feature_names.begin(), base_feature_names.end());
+  names.insert(names.end(), other_feature_names.begin(),
+               other_feature_names.end());
+  return names;
+}
+
+namespace {
+
+/// Appends `count` feature columns named `<prefix>0..` filled by `filler`.
+std::vector<std::string> FeatureNames(const std::string& prefix, size_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) names.push_back(prefix + std::to_string(i));
+  return names;
+}
+
+}  // namespace
+
+SiloPair GenerateSiloPair(const SiloPairSpec& spec) {
+  Rng rng(spec.seed);
+  SiloPair pair;
+  pair.spec = spec;
+  pair.shared_feature_names = FeatureNames("s", spec.shared_features);
+  pair.base_feature_names = FeatureNames("x", spec.base_features);
+  pair.other_feature_names = FeatureNames("z", spec.other_features);
+
+  const size_t matched_other = std::min<size_t>(
+      spec.other_rows,
+      static_cast<size_t>(std::llround(spec.row_overlap *
+                                       static_cast<double>(spec.other_rows))));
+  const size_t matched_base = static_cast<size_t>(std::llround(
+      spec.match_fraction * static_cast<double>(spec.base_rows)));
+
+  // Entity-level shared feature values: shared columns must agree between the
+  // two silos for the same entity (they describe the same real-world fact).
+  // Key space: [0, other_rows) are S2 entities; keys >= other_rows are
+  // S1-only entities.
+  const size_t total_entities = spec.other_rows + spec.base_rows;  // upper bound
+  la::DenseMatrix shared_values(total_entities, spec.shared_features);
+  for (size_t e = 0; e < total_entities; ++e) {
+    for (size_t j = 0; j < spec.shared_features; ++j) {
+      shared_values.At(e, j) = rng.NextGaussian();
+    }
+  }
+
+  // ---- S2 ("other"): distinct entity rows, then within-source duplicates.
+  std::vector<int64_t> other_keys;
+  other_keys.reserve(spec.other_rows);
+  for (size_t i = 0; i < spec.other_rows; ++i) {
+    other_keys.push_back(static_cast<int64_t>(i));
+  }
+  const size_t dup_count = static_cast<size_t>(
+      std::llround(spec.other_dup_rate * static_cast<double>(spec.other_rows)));
+  std::vector<size_t> other_source_entity;  // per S2 row -> entity id
+  for (size_t i = 0; i < spec.other_rows; ++i) other_source_entity.push_back(i);
+  for (size_t d = 0; d < dup_count; ++d) {
+    other_source_entity.push_back(rng.NextUint64(spec.other_rows));
+  }
+
+  Table other("S2");
+  {
+    std::vector<int64_t> keys;
+    keys.reserve(other_source_entity.size());
+    for (size_t e : other_source_entity) {
+      keys.push_back(static_cast<int64_t>(e));
+    }
+    AMALUR_CHECK_OK(other.AddColumn(Column::FromInt64s("k", std::move(keys))));
+  }
+  // Entity-level private features for S2 so duplicates are exact copies.
+  la::DenseMatrix other_private(spec.other_rows, spec.other_features);
+  for (size_t e = 0; e < spec.other_rows; ++e) {
+    for (size_t j = 0; j < spec.other_features; ++j) {
+      other_private.At(e, j) = rng.NextGaussian();
+    }
+  }
+  // Entity-level labels: a linear signal over the entity's shared and
+  // S2-private features plus noise, so that feature augmentation genuinely
+  // improves a downstream model (the paper's use case 1). Entities absent
+  // from S2 draw their z-part from the same prior, keeping label variance
+  // comparable across matched and unmatched rows.
+  std::vector<double> label_weights_z(spec.other_features);
+  for (double& w : label_weights_z) w = rng.NextGaussian();
+  std::vector<double> label_weights_s(spec.shared_features);
+  for (double& w : label_weights_s) w = rng.NextGaussian();
+  const double z_norm =
+      spec.other_features > 0 ? std::sqrt(static_cast<double>(spec.other_features))
+                              : 1.0;
+  const double s_norm = spec.shared_features > 0
+                            ? std::sqrt(static_cast<double>(spec.shared_features))
+                            : 1.0;
+  std::vector<double> entity_label(total_entities, 0.0);
+  for (size_t e = 0; e < total_entities; ++e) {
+    double signal = 0.0;
+    for (size_t j = 0; j < spec.shared_features; ++j) {
+      signal += label_weights_s[j] * shared_values.At(e, j) / s_norm;
+    }
+    if (e < spec.other_rows) {
+      for (size_t j = 0; j < spec.other_features; ++j) {
+        signal += label_weights_z[j] * other_private.At(e, j) / z_norm;
+      }
+    } else {
+      signal += rng.NextGaussian();  // unobserved z-part
+    }
+    entity_label[e] = signal + 0.2 * rng.NextGaussian();
+  }
+  if (spec.other_has_label) {
+    std::vector<double> labels;
+    labels.reserve(other_source_entity.size());
+    for (size_t e : other_source_entity) labels.push_back(entity_label[e]);
+    AMALUR_CHECK_OK(other.AddColumn(Column::FromDoubles("y", std::move(labels))));
+  }
+  for (size_t j = 0; j < spec.shared_features; ++j) {
+    std::vector<double> values;
+    values.reserve(other_source_entity.size());
+    for (size_t e : other_source_entity) values.push_back(shared_values.At(e, j));
+    AMALUR_CHECK_OK(other.AddColumn(
+        Column::FromDoubles(pair.shared_feature_names[j], std::move(values))));
+  }
+  for (size_t j = 0; j < spec.other_features; ++j) {
+    Column col(pair.other_feature_names[j], DataType::kDouble);
+    for (size_t e : other_source_entity) {
+      if (spec.null_ratio > 0.0 && rng.NextBernoulli(spec.null_ratio)) {
+        col.AppendNull();
+      } else {
+        col.AppendDouble(other_private.At(e, j));
+      }
+    }
+    AMALUR_CHECK_OK(other.AddColumn(std::move(col)));
+  }
+
+  // ---- S1 ("base"): matched rows reference matched S2 entities round-robin
+  // (fan-out = matched_base / matched_other), the rest get fresh keys.
+  Table base("S1");
+  std::vector<size_t> base_entity(spec.base_rows);
+  for (size_t i = 0; i < spec.base_rows; ++i) {
+    if (i < matched_base && matched_other > 0) {
+      base_entity[i] = i % matched_other;  // S2 entity ids [0, matched_other)
+    } else {
+      base_entity[i] = spec.other_rows + i;  // S1-only entity
+    }
+  }
+  {
+    std::vector<int64_t> keys;
+    keys.reserve(spec.base_rows);
+    for (size_t e : base_entity) keys.push_back(static_cast<int64_t>(e));
+    AMALUR_CHECK_OK(base.AddColumn(Column::FromInt64s("k", std::move(keys))));
+  }
+  {
+    std::vector<double> labels;
+    labels.reserve(spec.base_rows);
+    for (size_t e : base_entity) labels.push_back(entity_label[e]);
+    AMALUR_CHECK_OK(base.AddColumn(Column::FromDoubles("y", std::move(labels))));
+  }
+  for (size_t j = 0; j < spec.shared_features; ++j) {
+    std::vector<double> values;
+    values.reserve(spec.base_rows);
+    for (size_t e : base_entity) values.push_back(shared_values.At(e, j));
+    AMALUR_CHECK_OK(base.AddColumn(
+        Column::FromDoubles(pair.shared_feature_names[j], std::move(values))));
+  }
+  for (size_t j = 0; j < spec.base_features; ++j) {
+    Column col(pair.base_feature_names[j], DataType::kDouble);
+    for (size_t i = 0; i < spec.base_rows; ++i) {
+      if (spec.null_ratio > 0.0 && rng.NextBernoulli(spec.null_ratio)) {
+        col.AppendNull();
+      } else {
+        col.AppendDouble(rng.NextGaussian());
+      }
+    }
+    AMALUR_CHECK_OK(base.AddColumn(std::move(col)));
+  }
+
+  pair.base = std::move(base);
+  pair.other = std::move(other);
+  return pair;
+}
+
+Table GenerateTable(const std::string& name, size_t rows, size_t features,
+                    uint64_t seed) {
+  Rng rng(seed);
+  Table table(name);
+  {
+    std::vector<int64_t> keys(rows);
+    for (size_t i = 0; i < rows; ++i) keys[i] = static_cast<int64_t>(i);
+    AMALUR_CHECK_OK(table.AddColumn(Column::FromInt64s("k", std::move(keys))));
+  }
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(rows, features, &rng);
+  std::vector<double> theta(features);
+  for (double& t : theta) t = rng.NextGaussian();
+  std::vector<double> y(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < features; ++j) acc += x.At(i, j) * theta[j];
+    y[i] = acc + 0.1 * rng.NextGaussian();
+  }
+  AMALUR_CHECK_OK(table.AddColumn(Column::FromDoubles("y", std::move(y))));
+  for (size_t j = 0; j < features; ++j) {
+    std::vector<double> col(rows);
+    for (size_t i = 0; i < rows; ++i) col[i] = x.At(i, j);
+    AMALUR_CHECK_OK(table.AddColumn(
+        Column::FromDoubles("x" + std::to_string(j), std::move(col))));
+  }
+  return table;
+}
+
+}  // namespace rel
+}  // namespace amalur

@@ -1,0 +1,85 @@
+#ifndef AMALUR_RELATIONAL_GENERATOR_H_
+#define AMALUR_RELATIONAL_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/join.h"
+#include "relational/table.h"
+
+/// \file generator.h
+/// Seeded synthetic silo generator. Substitutes for the paper's private
+/// hospital/enterprise silos: every distribution property the cost model and
+/// the Table III / Figure 5 experiments depend on (row counts, feature
+/// counts, row overlap, join fan-out, within-source duplicates, null ratio,
+/// shared feature columns) is an explicit knob, and ground-truth row matches
+/// are recoverable by key equality.
+
+namespace amalur {
+namespace rel {
+
+/// Specification of a synthetic two-silo scenario (base table S1 + new table
+/// S2, in the paper's running-example roles).
+struct SiloPairSpec {
+  /// Dataset relationship this pair is destined for (Table I).
+  JoinKind kind = JoinKind::kLeftJoin;
+  /// Rows of the base table S1.
+  size_t base_rows = 1000;
+  /// Distinct entity rows of the new table S2 (before duplication).
+  size_t other_rows = 200;
+  /// Feature columns private to S1 (named x0, x1, ...).
+  size_t base_features = 1;
+  /// Feature columns private to S2 (named z0, z1, ...).
+  size_t other_features = 100;
+  /// Feature columns present in BOTH tables (named s0, s1, ...) with equal
+  /// values for matched entities — the overlapping columns of §IV.A.
+  size_t shared_features = 0;
+  /// Fraction of S1 rows whose key exists in S2. Matched S1 rows are assigned
+  /// round-robin over the matched S2 keys, so the join fan-out
+  /// (target-table redundancy) is ≈ match_fraction·base_rows / matched keys.
+  double match_fraction = 1.0;
+  /// Fraction of S2 entity rows that are matched by at least one S1 row.
+  double row_overlap = 1.0;
+  /// Fraction of extra exact-duplicate rows appended to S2 (within-source
+  /// redundancy; 0.5 means |S2| grows by 50% duplicates).
+  double other_dup_rate = 0.0;
+  /// Probability that a private feature cell is NULL.
+  double null_ratio = 0.0;
+  /// S2 also carries the label column (paper Examples 1, 2, 4).
+  bool other_has_label = false;
+  /// PRNG seed; equal specs with equal seeds generate identical data.
+  uint64_t seed = 42;
+};
+
+/// A generated pair of silo tables.
+///
+/// Column layout: S1(k, y, s0.., x0..), S2(k, [y,] s0.., z0..). `k` is the
+/// entity key (int64) used as ground truth for matching; `y` the label.
+struct SiloPair {
+  Table base;
+  Table other;
+  /// Private + shared feature names, per table, in target-schema order.
+  std::vector<std::string> base_feature_names;
+  std::vector<std::string> other_feature_names;
+  std::vector<std::string> shared_feature_names;
+  /// The spec that produced this pair.
+  SiloPairSpec spec;
+
+  /// Names of the feature columns of the target schema T (shared first, then
+  /// S1-private, then S2-private) — the mediated schema of the scenario.
+  std::vector<std::string> TargetFeatureNames() const;
+};
+
+/// Generates a silo pair per `spec`. Deterministic in `spec.seed`.
+SiloPair GenerateSiloPair(const SiloPairSpec& spec);
+
+/// Single-table generator: `rows` x `features` Gaussian features plus a label
+/// column `y` = Θᵀx + ε and an int64 key column `k` = 0..rows-1.
+Table GenerateTable(const std::string& name, size_t rows, size_t features,
+                    uint64_t seed);
+
+}  // namespace rel
+}  // namespace amalur
+
+#endif  // AMALUR_RELATIONAL_GENERATOR_H_

@@ -1,0 +1,61 @@
+#include "relational/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace amalur {
+namespace rel {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields_) {
+    AMALUR_CHECK(seen.insert(f.name).second) << "duplicate field name: " << f.name;
+  }
+}
+
+Schema Schema::AllDouble(const std::vector<std::string>& names) {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const std::string& name : names) {
+    fields.push_back({name, DataType::kDouble, true});
+  }
+  return Schema(std::move(fields));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Field> projected;
+  projected.reserve(indices.size());
+  for (size_t i : indices) {
+    AMALUR_CHECK_LT(i, fields_.size()) << "projection index out of range";
+    projected.push_back(fields_[i]);
+  }
+  return Schema(std::move(projected));
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const Field& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << fields_[i].name << ":" << DataTypeToString(fields_[i].type);
+  }
+  return out.str();
+}
+
+}  // namespace rel
+}  // namespace amalur

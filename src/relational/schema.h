@@ -1,0 +1,66 @@
+#ifndef AMALUR_RELATIONAL_SCHEMA_H_
+#define AMALUR_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+/// \file schema.h
+/// Relational schemas: ordered, named, typed fields. Source and target
+/// schemas of the paper (`S_k`, `T`) are instances of this class.
+
+namespace amalur {
+namespace rel {
+
+/// One field of a schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kDouble;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && nullable == other.nullable;
+  }
+};
+
+/// An ordered collection of uniquely named fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Convenience: all-double schema from names (the common ML case).
+  static Schema AllDouble(const std::vector<std::string>& names);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with `name`, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// True when a field with `name` exists.
+  bool Contains(const std::string& name) const { return IndexOf(name).has_value(); }
+
+  /// Schema with only the given field indices, in the given order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  /// All field names in order.
+  std::vector<std::string> Names() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// "name:type, name:type, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace rel
+}  // namespace amalur
+
+#endif  // AMALUR_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,32 @@
+#include "relational/value.h"
+
+#include <cstdio>
+
+namespace amalur {
+namespace rel {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", dbl());
+    return buffer;
+  }
+  return str();
+}
+
+}  // namespace rel
+}  // namespace amalur

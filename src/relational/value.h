@@ -1,0 +1,78 @@
+#ifndef AMALUR_RELATIONAL_VALUE_H_
+#define AMALUR_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+/// \file value.h
+/// Cell-level value model for the relational substrate. Columns store data in
+/// typed vectors (see column.h); `Value` is the boxed form used at API
+/// boundaries — CSV parsing, row construction, tests.
+
+namespace amalur {
+namespace rel {
+
+/// Physical type of a column.
+enum class DataType : int8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Human-readable type name ("int64", "double", "string").
+const char* DataTypeToString(DataType type);
+
+/// A single nullable cell value.
+class Value {
+ public:
+  /// The NULL value.
+  Value() : repr_(std::monostate{}) {}
+  Value(int64_t v) : repr_(v) {}            // NOLINT(runtime/explicit)
+  Value(double v) : repr_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t int64() const {
+    AMALUR_CHECK(is_int64()) << "value is not int64";
+    return std::get<int64_t>(repr_);
+  }
+  double dbl() const {
+    AMALUR_CHECK(is_double()) << "value is not double";
+    return std::get<double>(repr_);
+  }
+  const std::string& str() const {
+    AMALUR_CHECK(is_string()) << "value is not string";
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric view: int64 and double cells as double. NULL and string are
+  /// programmer errors here — callers must check first.
+  double AsDouble() const {
+    if (is_int64()) return static_cast<double>(std::get<int64_t>(repr_));
+    return dbl();
+  }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Rendering used by CSV output and test messages; NULL renders empty.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace rel
+}  // namespace amalur
+
+#endif  // AMALUR_RELATIONAL_VALUE_H_

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace amalur {
+namespace {
+
+TEST(LoggingTest, ThresholdGatesOutput) {
+  internal::SetLogThreshold(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  AMALUR_LOG(Warning) << "hidden";
+  AMALUR_LOG(Error) << "visible";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("hidden"), std::string::npos);
+  EXPECT_NE(captured.find("visible"), std::string::npos);
+  EXPECT_NE(captured.find("[ERROR"), std::string::npos);
+  internal::SetLogThreshold(LogLevel::kWarning);  // restore default
+}
+
+TEST(LoggingTest, MessagesCarryFileAndLine) {
+  internal::SetLogThreshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  AMALUR_LOG(Info) << "locate me";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+  internal::SetLogThreshold(LogLevel::kWarning);
+}
+
+TEST(LoggingTest, CheckMacrosPassOnTrueConditions) {
+  AMALUR_CHECK(true) << "never printed";
+  AMALUR_CHECK_EQ(1, 1);
+  AMALUR_CHECK_LT(1, 2);
+  AMALUR_CHECK_LE(2, 2);
+  AMALUR_CHECK_GT(3, 2);
+  AMALUR_CHECK_GE(3, 3);
+  AMALUR_CHECK_NE(1, 2);
+  AMALUR_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(AMALUR_CHECK(false) << "boom", "Check failed: false boom");
+  EXPECT_DEATH(AMALUR_CHECK_OK(Status::Internal("bad state")), "bad state");
+}
+
+}  // namespace
+}  // namespace amalur

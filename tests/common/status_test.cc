@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace amalur {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryBuildersCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("row ", 7, " out of range");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "row 7 out of range");
+  EXPECT_EQ(s.ToString(), "Invalid argument: row 7 out of range");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, WithContextPrependsAndPreservesCode) {
+  Status s = Status::NotFound("table S2").WithContext("loading silo");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "loading silo: table S2");
+  EXPECT_TRUE(Status::OK().WithContext("noop").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive: ", v);
+  return v;
+}
+
+Status UseValue(int v, int* out) {
+  AMALUR_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseValue(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status s = UseValue(-1, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+Status FailThenSucceed(bool fail) {
+  AMALUR_RETURN_NOT_OK(fail ? Status::IOError("disk") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(FailThenSucceed(false).ok());
+  EXPECT_TRUE(FailThenSucceed(true).IsIOError());
+}
+
+}  // namespace
+}  // namespace amalur

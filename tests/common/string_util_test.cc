@@ -1,0 +1,84 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace amalur {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"m", "a", "hr", "o"};
+  EXPECT_EQ(Join(parts, ","), "m,a,hr,o");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(TrimTest, RemovesAsciiWhitespace) {
+  EXPECT_EQ(Trim("  resting HR \t\n"), "resting HR");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("RestingHR"), "restinghr");
+  EXPECT_EQ(ToLower("már"), "már");  // non-ASCII bytes pass through
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("mortality", "mort"));
+  EXPECT_FALSE(StartsWith("mort", "mortality"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("oxygen", "oxygen"), 0u);
+  EXPECT_EQ(EditDistance("age", "page"), 1u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("restingHR", "heart_rate"),
+            EditDistance("heart_rate", "restingHR"));
+}
+
+TEST(EditSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  double s = EditSimilarity("mortality", "mortal");
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(TrigramJaccardTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(TrigramJaccard("oxygen", "oxygen"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("abcdef", "uvwxyz"), 0.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("", ""), 1.0);
+  double s = TrigramJaccard("resting heart rate", "rate of resting heart");
+  EXPECT_GT(s, 0.3);
+}
+
+TEST(CanonicalizeIdentifierTest, StripsSeparatorsAndCase) {
+  EXPECT_EQ(CanonicalizeIdentifier("resting HR"), "restinghr");
+  EXPECT_EQ(CanonicalizeIdentifier("restingHR"), "restinghr");
+  EXPECT_EQ(CanonicalizeIdentifier("date_diagnosed"), "datediagnosed");
+  EXPECT_EQ(CanonicalizeIdentifier("__a-b c1__"), "abc1");
+}
+
+TEST(FormatDoubleTest, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatDouble(1000000.0, 4), "1e+06");
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.5");
+}
+
+}  // namespace
+}  // namespace amalur

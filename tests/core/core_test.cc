@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "core/amalur.h"
+#include "factorized/scenario_builder.h"
+#include "integration/running_example.h"
+#include "relational/generator.h"
+
+namespace amalur {
+namespace core {
+namespace {
+
+TEST(CatalogTest, SourceCrud) {
+  Catalog catalog;
+  integration::RunningExample ex = integration::MakeRunningExample();
+  EXPECT_TRUE(catalog.RegisterSource({"S1", ex.s1, "er", false}).ok());
+  EXPECT_TRUE(
+      catalog.RegisterSource({"S1", ex.s1, "er", false}).IsAlreadyExists());
+  EXPECT_TRUE(catalog.RegisterSource({"", ex.s1, "", false}).IsInvalidArgument());
+  EXPECT_TRUE(catalog.HasSource("S1"));
+  EXPECT_FALSE(catalog.HasSource("S9"));
+  auto entry = catalog.GetSource("S1");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->silo_location, "er");
+  EXPECT_TRUE(catalog.GetSource("S9").status().IsNotFound());
+  EXPECT_EQ(catalog.SourceNames(), (std::vector<std::string>{"S1"}));
+}
+
+TEST(CatalogTest, DiMetadataStorage) {
+  Catalog catalog;
+  catalog.StoreColumnMatches("a", "b", {{0, 1, 0.9}});
+  auto matches = catalog.GetColumnMatches("a", "b");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ((*matches)->size(), 1u);
+  EXPECT_TRUE(catalog.GetColumnMatches("b", "a").status().IsNotFound());
+  rel::RowMatching matching;
+  matching.matched = {{3, 2}};
+  catalog.StoreRowMatching("a", "b", matching);
+  auto stored = catalog.GetRowMatching("a", "b");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ((*stored)->matched.size(), 1u);
+}
+
+TEST(CatalogTest, ModelRegistry) {
+  Catalog catalog;
+  ModelEntry model;
+  model.name = "m1";
+  model.task = "linear_regression";
+  model.metric = 0.25;
+  EXPECT_TRUE(catalog.RegisterModel(model).ok());
+  EXPECT_TRUE(catalog.RegisterModel(model).IsAlreadyExists());
+  auto fetched = catalog.GetModel("m1");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_DOUBLE_EQ((*fetched)->metric, 0.25);
+  EXPECT_EQ(catalog.ModelNames(), (std::vector<std::string>{"m1"}));
+}
+
+TEST(OptimizerTest, PrivacyForcesFederation) {
+  integration::RunningExample ex = integration::MakeRunningExample();
+  auto metadata =
+      metadata::DiMetadata::Derive(ex.mapping, {&ex.s1, &ex.s2}, ex.matching);
+  ASSERT_TRUE(metadata.ok());
+  Optimizer optimizer;
+  Plan plan = optimizer.Choose(*metadata, /*privacy_constrained=*/true);
+  EXPECT_EQ(plan.strategy, ExecutionStrategy::kFederate);
+  EXPECT_NE(plan.explanation.find("privacy"), std::string::npos);
+  Plan free_plan = optimizer.Choose(*metadata, false);
+  EXPECT_NE(free_plan.strategy, ExecutionStrategy::kFederate);
+  EXPECT_FALSE(free_plan.explanation.empty());
+}
+
+/// End-to-end: the running example through the full automatic pipeline.
+TEST(AmalurTest, RunningExampleEndToEnd) {
+  integration::RunningExample ex = integration::MakeRunningExample();
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S1", ex.s1, "er", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S2", ex.s2, "pulmonary", false}).ok());
+
+  auto integration =
+      amalur.Integrate("S1", "S2", rel::JoinKind::kFullOuterJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  // Target schema synthesized as T(m, a, hr, o) — the paper's mediated schema.
+  EXPECT_EQ(integration->mapping.target_schema().Names(),
+            (std::vector<std::string>{"m", "a", "hr", "o"}));
+  // ER recovered Jane.
+  ASSERT_EQ(integration->matching.matched.size(), 1u);
+  EXPECT_EQ(integration->matching.matched[0],
+            (std::pair<size_t, size_t>{3, 2}));
+  // The materialized matrix matches Figure 4.
+  EXPECT_TRUE(integration->metadata.MaterializeTargetMatrix().ApproxEquals(
+      integration::RunningExampleTargetMatrix()));
+
+  // Train mortality prediction; strategy is the optimizer's choice.
+  TrainRequest request;
+  request.task = TrainingTask::kLogisticRegression;
+  request.label_column = "m";
+  request.gd.iterations = 50;
+  request.gd.learning_rate = 0.01;
+  auto outcome = amalur.Train(*integration, request, "mortality");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->weights.rows(), 3u);  // a, hr, o
+  EXPECT_FALSE(outcome->loss_history.empty());
+  // The model landed in the catalog.
+  auto model = amalur.catalog()->GetModel("mortality");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->task, "logistic_regression");
+  EXPECT_EQ((*model)->training_sources,
+            (std::vector<std::string>{"S1", "S2"}));
+}
+
+TEST(AmalurTest, FactorizedAndMaterializedAgreeEndToEnd) {
+  // Same integration, both strategies forced via the executor: identical
+  // weights — the paper's "factorization does not affect accuracy".
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kLeftJoin;
+  spec.base_rows = 150;
+  spec.other_rows = 30;
+  spec.base_features = 2;
+  spec.other_features = 5;
+  spec.seed = 77;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S1", pair.base, "silo1", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S2", pair.other, "silo2", false}).ok());
+  auto integration = amalur.Integrate("S1", "S2", rel::JoinKind::kLeftJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 30;
+  request.gd.learning_rate = 0.05;
+
+  Executor executor;
+  Plan factorize{ExecutionStrategy::kFactorize, {}, "forced"};
+  Plan materialize{ExecutionStrategy::kMaterialize, {}, "forced"};
+  auto fact = executor.Run(integration->metadata, factorize, request);
+  auto mat = executor.Run(integration->metadata, materialize, request);
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_LT(fact->weights.MaxAbsDiff(mat->weights), 1e-8);
+  EXPECT_EQ(fact->strategy_used, ExecutionStrategy::kFactorize);
+  EXPECT_EQ(mat->strategy_used, ExecutionStrategy::kMaterialize);
+}
+
+TEST(AmalurTest, PrivacySensitiveSourceTriggersFederatedRun) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kInnerJoin;
+  spec.base_rows = 60;
+  spec.other_rows = 60;
+  spec.base_features = 2;
+  spec.other_features = 2;
+  spec.seed = 78;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S1", pair.base, "bank-a", true}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S2", pair.other, "bank-b", true}).ok());
+  auto integration = amalur.Integrate("S1", "S2", rel::JoinKind::kInnerJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  EXPECT_TRUE(integration->privacy_constrained);
+  EXPECT_EQ(amalur.PlanFor(*integration).strategy, ExecutionStrategy::kFederate);
+
+  TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 25;
+  request.gd.learning_rate = 0.05;
+  auto outcome = amalur.Train(*integration, request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->strategy_used, ExecutionStrategy::kFederate);
+  EXPECT_GT(outcome->bytes_transferred, 0u);
+  EXPECT_LT(outcome->loss_history.back(), outcome->loss_history.front());
+}
+
+TEST(AmalurTest, IntegrateValidation) {
+  Amalur amalur;
+  EXPECT_TRUE(amalur.Integrate("a", "b", rel::JoinKind::kInnerJoin)
+                  .status()
+                  .IsNotFound());
+  // Two tables with nothing in common cannot form a join scenario.
+  rel::Table left("L");
+  AMALUR_CHECK_OK(left.AddColumn(rel::Column::FromDoubles("ppp", {1, 2})));
+  rel::Table right("R");
+  AMALUR_CHECK_OK(right.AddColumn(
+      rel::Column::FromStrings("qqq", {"x", "y"})));
+  ASSERT_TRUE(amalur.catalog()->RegisterSource({"L", left, "", false}).ok());
+  ASSERT_TRUE(amalur.catalog()->RegisterSource({"R", right, "", false}).ok());
+  EXPECT_TRUE(amalur.Integrate("L", "R", rel::JoinKind::kInnerJoin)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ExecutorTest, UnknownLabelColumnRejected) {
+  integration::RunningExample ex = integration::MakeRunningExample();
+  auto metadata =
+      metadata::DiMetadata::Derive(ex.mapping, {&ex.s1, &ex.s2}, ex.matching);
+  ASSERT_TRUE(metadata.ok());
+  Executor executor;
+  TrainRequest request;
+  request.label_column = "nope";
+  Plan plan{ExecutionStrategy::kFactorize, {}, ""};
+  EXPECT_TRUE(executor.Run(*metadata, plan, request).status().IsNotFound());
+}
+
+TEST(ExecutorTest, FederatedLogisticUnimplemented) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kInnerJoin;
+  spec.base_rows = 20;
+  spec.other_rows = 20;
+  spec.seed = 79;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+  auto metadata = factorized::DerivePairMetadata(pair);
+  ASSERT_TRUE(metadata.ok());
+  Executor executor;
+  TrainRequest request;
+  request.task = TrainingTask::kLogisticRegression;
+  request.label_column = "y";
+  Plan plan{ExecutionStrategy::kFederate, {}, ""};
+  EXPECT_TRUE(
+      executor.Run(*metadata, plan, request).status().IsUnimplemented());
+}
+
+TEST(StrategyNamesTest, AllRender) {
+  EXPECT_STREQ(ExecutionStrategyToString(ExecutionStrategy::kFactorize),
+               "factorize");
+  EXPECT_STREQ(ExecutionStrategyToString(ExecutionStrategy::kMaterialize),
+               "materialize");
+  EXPECT_STREQ(ExecutionStrategyToString(ExecutionStrategy::kFederate),
+               "federate");
+  EXPECT_STREQ(TrainingTaskToString(TrainingTask::kLinearRegression),
+               "linear_regression");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace amalur

@@ -1,0 +1,112 @@
+#include "factorized/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "factorized/scenario_builder.h"
+#include "integration/running_example.h"
+
+namespace amalur {
+namespace factorized {
+namespace {
+
+metadata::DiMetadata RunningExampleMetadata() {
+  integration::RunningExample ex = integration::MakeRunningExample();
+  auto md =
+      metadata::DiMetadata::Derive(ex.mapping, {&ex.s1, &ex.s2}, ex.matching);
+  AMALUR_CHECK(md.ok()) << md.status();
+  return std::move(md).ValueOrDie();
+}
+
+TEST(AggregatesTest, PaperSectionIIICMotivatingQuery) {
+  // "How many patients aged above 30 are in S1 and S2? The correct answer
+  // is three instead of four" — Jane (in both silos) counts once.
+  metadata::DiMetadata md = RunningExampleMetadata();
+  auto over_30 = CountWhere(md, "a", [](double age) { return age > 30; });
+  ASSERT_TRUE(over_30.ok());
+  EXPECT_EQ(*over_30, 3u);  // Sam (35), Jane (37, deduplicated), Rose (45)
+}
+
+TEST(AggregatesTest, CountRowsIsTargetCardinality) {
+  metadata::DiMetadata md = RunningExampleMetadata();
+  EXPECT_EQ(CountRows(md), 6u);  // 4 S1 + 3 S2 - 1 shared (Jane)
+}
+
+TEST(AggregatesTest, CountSkipsAbsentCells) {
+  metadata::DiMetadata md = RunningExampleMetadata();
+  // hr exists only for S1's patients (4 rows), o only for S2's (3 rows).
+  auto any_hr = CountWhere(md, "hr", [](double) { return true; });
+  ASSERT_TRUE(any_hr.ok());
+  EXPECT_EQ(*any_hr, 4u);
+  auto any_o = CountWhere(md, "o", [](double) { return true; });
+  ASSERT_TRUE(any_o.ok());
+  EXPECT_EQ(*any_o, 3u);
+}
+
+TEST(AggregatesTest, SumAvgMinMaxOnRunningExample) {
+  metadata::DiMetadata md = RunningExampleMetadata();
+  // Ages (deduplicated): Jane 37, Jack 20, Sam 35, Ruby 22, Rose 45,
+  // Castiel 20 -> sum 179.
+  auto sum = SumColumn(md, "a");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 179.0);
+  auto avg = AvgColumn(md, "a");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(*avg, 179.0 / 6.0);
+  auto oxygen_avg = AvgColumn(md, "o");
+  ASSERT_TRUE(oxygen_avg.ok());
+  EXPECT_DOUBLE_EQ(*oxygen_avg, (95.0 + 97.0 + 92.0) / 3.0);  // only 3 rows
+  EXPECT_DOUBLE_EQ(*MinColumn(md, "hr"), 58.0);
+  EXPECT_DOUBLE_EQ(*MaxColumn(md, "hr"), 70.0);
+}
+
+TEST(AggregatesTest, NaiveDoubleCountingWouldBeWrong) {
+  // The whole point of R: summing per-source contributions double-counts
+  // Jane's age; the aggregate path must not.
+  metadata::DiMetadata md = RunningExampleMetadata();
+  double naive = md.SourceContribution(0).Add(md.SourceContribution(1))
+                     .SelectColumns({1})
+                     .Sum();
+  EXPECT_DOUBLE_EQ(naive, 179.0 + 37.0);  // Jane counted twice
+  EXPECT_DOUBLE_EQ(*SumColumn(md, "a"), 179.0);
+}
+
+TEST(AggregatesTest, UnknownColumnRejected) {
+  metadata::DiMetadata md = RunningExampleMetadata();
+  EXPECT_TRUE(SumColumn(md, "zzz").status().IsNotFound());
+  EXPECT_TRUE(
+      CountWhere(md, "zzz", [](double) { return true; }).status().IsNotFound());
+}
+
+TEST(AggregatesTest, AggregatesMatchMaterializedOnGeneratedScenarios) {
+  for (rel::JoinKind kind :
+       {rel::JoinKind::kInnerJoin, rel::JoinKind::kLeftJoin,
+        rel::JoinKind::kFullOuterJoin, rel::JoinKind::kUnion}) {
+    rel::SiloPairSpec spec;
+    spec.kind = kind;
+    spec.base_rows = 70;
+    spec.other_rows = 35;
+    spec.base_features = 2;
+    spec.other_features = 2;
+    spec.shared_features = 1;
+    spec.match_fraction = kind == rel::JoinKind::kUnion ? 0.0 : 0.6;
+    spec.row_overlap = kind == rel::JoinKind::kUnion ? 0.0 : 0.8;
+    spec.seed = 50 + static_cast<uint64_t>(kind);
+    rel::SiloPair pair = rel::GenerateSiloPair(spec);
+    auto md = DerivePairMetadata(pair);
+    ASSERT_TRUE(md.ok()) << md.status();
+    // SUM over the shared feature equals the materialized column sum
+    // (absent cells are zeros either way).
+    const auto target_index = md->target_schema().IndexOf("s0");
+    ASSERT_TRUE(target_index.has_value());
+    la::DenseMatrix t = md->MaterializeTargetMatrix();
+    double expected = 0.0;
+    for (size_t i = 0; i < t.rows(); ++i) expected += t.At(i, *target_index);
+    auto sum = SumColumn(*md, "s0");
+    ASSERT_TRUE(sum.ok());
+    EXPECT_NEAR(*sum, expected, 1e-9) << rel::JoinKindToString(kind);
+  }
+}
+
+}  // namespace
+}  // namespace factorized
+}  // namespace amalur

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "factorized/scenario_builder.h"
+#include "federated/hfl.h"
+#include "federated/vfl.h"
+#include "ml/linear_models.h"
+#include "ml/training_matrix.h"
+
+namespace amalur {
+namespace federated {
+namespace {
+
+/// Centralized reference: GD linear regression on [xa | xb].
+la::DenseMatrix CentralizedWeights(const la::DenseMatrix& xa,
+                                   const la::DenseMatrix& labels,
+                                   const la::DenseMatrix& xb, size_t iterations,
+                                   double learning_rate) {
+  ml::MaterializedMatrix features(xa.ConcatColumns(xb));
+  ml::GradientDescentOptions options;
+  options.iterations = iterations;
+  options.learning_rate = learning_rate;
+  return ml::TrainLinearRegression(features, labels, options).weights;
+}
+
+struct VflFixture {
+  la::DenseMatrix xa, labels, xb;
+};
+
+VflFixture MakeVflFixture(size_t rows, size_t pa, size_t pb, uint64_t seed) {
+  Rng rng(seed);
+  VflFixture f{la::DenseMatrix::RandomGaussian(rows, pa, &rng),
+               la::DenseMatrix(rows, 1),
+               la::DenseMatrix::RandomGaussian(rows, pb, &rng)};
+  // Planted linear model over the joint feature space + noise.
+  la::DenseMatrix wa = la::DenseMatrix::RandomGaussian(pa, 1, &rng);
+  la::DenseMatrix wb = la::DenseMatrix::RandomGaussian(pb, 1, &rng);
+  f.labels = f.xa.Multiply(wa).Add(f.xb.Multiply(wb));
+  for (size_t i = 0; i < rows; ++i) {
+    f.labels.At(i, 0) += 0.01 * rng.NextGaussian();
+  }
+  return f;
+}
+
+TEST(VflTest, PlaintextMatchesCentralizedExactly) {
+  VflFixture f = MakeVflFixture(80, 3, 2, 1);
+  MessageBus bus;
+  VflOptions options;
+  options.iterations = 60;
+  options.learning_rate = 0.1;
+  options.privacy = VflPrivacy::kPlaintext;
+  auto result = TrainVerticalFlr(f.xa, f.labels, f.xb, options, &bus);
+  ASSERT_TRUE(result.ok()) << result.status();
+  la::DenseMatrix central =
+      CentralizedWeights(f.xa, f.labels, f.xb, 60, 0.1);
+  // Federated [θA; θB] equals the centralized weight vector: the protocol
+  // computes the same gradients, just split by party.
+  la::DenseMatrix combined = result->theta_a.ConcatRows(result->theta_b);
+  EXPECT_LT(combined.MaxAbsDiff(central), 1e-10);
+  EXPECT_GT(result->bytes_transferred, 0u);
+}
+
+TEST(VflTest, PaillierMatchesCentralizedWithinFixedPoint) {
+  VflFixture f = MakeVflFixture(40, 2, 2, 2);
+  MessageBus bus;
+  VflOptions options;
+  options.iterations = 15;
+  options.learning_rate = 0.1;
+  options.privacy = VflPrivacy::kPaillier;
+  auto result = TrainVerticalFlr(f.xa, f.labels, f.xb, options, &bus);
+  ASSERT_TRUE(result.ok()) << result.status();
+  la::DenseMatrix central = CentralizedWeights(f.xa, f.labels, f.xb, 15, 0.1);
+  la::DenseMatrix combined = result->theta_a.ConcatRows(result->theta_b);
+  EXPECT_LT(combined.MaxAbsDiff(central), 1e-2);  // fixed-point tolerance
+  // Loss decreases under encryption too.
+  EXPECT_LT(result->loss_history.back(), result->loss_history.front());
+}
+
+TEST(VflTest, EncryptionInflatesTraffic) {
+  // §V.B: "encryption often brings tremendous computation overhead" — and
+  // ciphertext expansion shows up directly in transfer volume.
+  VflFixture f = MakeVflFixture(30, 2, 2, 3);
+  VflOptions options;
+  options.iterations = 5;
+  MessageBus plain_bus;
+  options.privacy = VflPrivacy::kPlaintext;
+  auto plain = TrainVerticalFlr(f.xa, f.labels, f.xb, options, &plain_bus);
+  ASSERT_TRUE(plain.ok());
+  MessageBus secure_bus;
+  options.privacy = VflPrivacy::kPaillier;
+  auto secure = TrainVerticalFlr(f.xa, f.labels, f.xb, options, &secure_bus);
+  ASSERT_TRUE(secure.ok());
+  EXPECT_GT(secure->bytes_transferred, plain->bytes_transferred);
+}
+
+TEST(VflTest, InputValidation) {
+  la::DenseMatrix a(4, 2), y(4, 1), b(5, 2);
+  MessageBus bus;
+  EXPECT_TRUE(TrainVerticalFlr(a, y, b, {}, &bus).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainVerticalFlr(a, y, a, {}, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  la::DenseMatrix bad_y(4, 2);
+  EXPECT_TRUE(
+      TrainVerticalFlr(a, bad_y, a, {}, &bus).status().IsInvalidArgument());
+}
+
+TEST(VflAlignmentTest, InnerJoinScenarioProducesDisjointFeatureBlocks) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kInnerJoin;
+  spec.base_rows = 60;
+  spec.other_rows = 60;
+  spec.base_features = 2;
+  spec.other_features = 3;
+  spec.shared_features = 1;  // s0 overlaps: provided by the base party
+  spec.seed = 4;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+  auto metadata = factorized::DerivePairMetadata(pair);
+  ASSERT_TRUE(metadata.ok());
+  auto alignment = AlignForVfl(*metadata, 0);
+  ASSERT_TRUE(alignment.ok()) << alignment.status();
+  // A holds s0, x0, x1; B holds z0..z2 (s0 masked away as redundant).
+  EXPECT_EQ(alignment->a_columns.size(), 3u);
+  EXPECT_EQ(alignment->b_columns.size(), 3u);
+  for (size_t c : alignment->a_columns) {
+    for (size_t cb : alignment->b_columns) EXPECT_NE(c, cb);
+  }
+  EXPECT_EQ(alignment->xa.rows(), 60u);
+  EXPECT_EQ(alignment->xb.rows(), 60u);
+
+  // Training on the aligned blocks equals centralized training on the
+  // materialized feature matrix.
+  MessageBus bus;
+  VflOptions options;
+  options.iterations = 40;
+  options.learning_rate = 0.05;
+  auto fed = TrainVerticalFlr(alignment->xa, alignment->labels, alignment->xb,
+                              options, &bus);
+  ASSERT_TRUE(fed.ok());
+  la::DenseMatrix central = CentralizedWeights(alignment->xa, alignment->labels,
+                                               alignment->xb, 40, 0.05);
+  EXPECT_LT(fed->theta_a.ConcatRows(fed->theta_b).MaxAbsDiff(central), 1e-10);
+}
+
+TEST(VflAlignmentTest, RejectsPartialSampleSpace) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kLeftJoin;
+  spec.base_rows = 40;
+  spec.other_rows = 20;
+  spec.match_fraction = 0.5;
+  spec.seed = 5;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+  auto metadata = factorized::DerivePairMetadata(pair);
+  ASSERT_TRUE(metadata.ok());
+  EXPECT_TRUE(AlignForVfl(*metadata, 0).status().IsFailedPrecondition());
+}
+
+std::vector<HflPartition> MakeHflParties(size_t parties, size_t rows_each,
+                                         size_t features, uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix w_true = la::DenseMatrix::RandomGaussian(features, 1, &rng);
+  std::vector<HflPartition> out;
+  for (size_t p = 0; p < parties; ++p) {
+    HflPartition partition{
+        la::DenseMatrix::RandomGaussian(rows_each, features, &rng),
+        la::DenseMatrix(rows_each, 1)};
+    partition.labels = partition.features.Multiply(w_true);
+    for (size_t i = 0; i < rows_each; ++i) {
+      partition.labels.At(i, 0) += 0.05 * rng.NextGaussian();
+    }
+    out.push_back(std::move(partition));
+  }
+  return out;
+}
+
+TEST(HflTest, FedAvgConverges) {
+  auto parties = MakeHflParties(3, 50, 4, 10);
+  MessageBus bus;
+  HflOptions options;
+  options.rounds = 60;
+  options.local_epochs = 2;
+  options.learning_rate = 0.2;
+  auto result = TrainHorizontalFlr(parties, options, &bus);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->loss_history.back(), 0.1 * result->loss_history.front());
+  EXPECT_LT(result->loss_history.back(), 0.05);
+}
+
+TEST(HflTest, SecureAggregationMatchesPlaintextAggregation) {
+  auto parties = MakeHflParties(4, 30, 3, 11);
+  HflOptions options;
+  options.rounds = 10;
+  options.local_epochs = 1;
+  options.learning_rate = 0.1;
+  MessageBus bus_secure, bus_plain;
+  options.secure_aggregation = true;
+  auto secure = TrainHorizontalFlr(parties, options, &bus_secure);
+  options.secure_aggregation = false;
+  auto plain = TrainHorizontalFlr(parties, options, &bus_plain);
+  ASSERT_TRUE(secure.ok());
+  ASSERT_TRUE(plain.ok());
+  // Same model up to fixed-point encoding noise.
+  EXPECT_LT(secure->weights.MaxAbsDiff(plain->weights), 1e-5);
+  // Secure aggregation costs extra peer-to-peer traffic.
+  EXPECT_GT(secure->bytes_transferred, plain->bytes_transferred);
+}
+
+TEST(HflTest, WeightedAveragingRespectsPartitionSizes) {
+  // One party with many rows should dominate the average.
+  Rng rng(12);
+  HflPartition big{la::DenseMatrix::RandomGaussian(200, 2, &rng),
+                   la::DenseMatrix(200, 1)};
+  la::DenseMatrix w_big({{2.0}, {-1.0}});
+  big.labels = big.features.Multiply(w_big);
+  HflPartition small{la::DenseMatrix::RandomGaussian(10, 2, &rng),
+                     la::DenseMatrix(10, 1)};
+  la::DenseMatrix w_small({{-5.0}, {5.0}});
+  small.labels = small.features.Multiply(w_small);
+
+  MessageBus bus;
+  HflOptions options;
+  options.rounds = 80;
+  options.learning_rate = 0.2;
+  auto result = TrainHorizontalFlr({big, small}, options, &bus);
+  ASSERT_TRUE(result.ok());
+  // The solution sits closer to the big party's weights.
+  EXPECT_LT(result->weights.MaxAbsDiff(w_big),
+            result->weights.MaxAbsDiff(w_small));
+}
+
+TEST(HflTest, InputValidation) {
+  MessageBus bus;
+  EXPECT_TRUE(TrainHorizontalFlr({}, {}, &bus).status().IsInvalidArgument());
+  auto parties = MakeHflParties(2, 10, 3, 13);
+  EXPECT_TRUE(
+      TrainHorizontalFlr(parties, {}, nullptr).status().IsInvalidArgument());
+  parties[1].features = la::DenseMatrix(10, 99);
+  EXPECT_TRUE(
+      TrainHorizontalFlr(parties, {}, &bus).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace federated
+}  // namespace amalur

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "federated/message_bus.h"
+#include "federated/paillier.h"
+#include "federated/secret_sharing.h"
+
+namespace amalur {
+namespace federated {
+namespace {
+
+TEST(MessageBusTest, FifoDeliveryAndAccounting) {
+  MessageBus bus;
+  bus.Send("A", "B", la::DenseMatrix({{1, 2}}));
+  bus.Send("A", "B", la::DenseMatrix({{3, 4}}));
+  auto first = bus.Receive("A", "B");
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(first->At(0, 0), 1);
+  auto second = bus.Receive("A", "B");
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->At(0, 0), 3);
+  EXPECT_TRUE(bus.Receive("A", "B").status().IsNotFound());
+  // 2 messages x (2 doubles + 32B envelope).
+  EXPECT_EQ(bus.TotalBytes(), 2 * (16 + 32));
+  EXPECT_EQ(bus.TotalMessages(), 2u);
+  EXPECT_EQ(bus.ChannelStats("A", "B").messages, 2u);
+  EXPECT_EQ(bus.ChannelStats("B", "A").messages, 0u);
+}
+
+TEST(MessageBusTest, ChannelsAreDirected) {
+  MessageBus bus;
+  bus.Send("A", "B", la::DenseMatrix({{1}}));
+  EXPECT_TRUE(bus.Receive("B", "A").status().IsNotFound());
+  EXPECT_TRUE(bus.Receive("A", "B").ok());
+}
+
+TEST(MessageBusTest, BytePayloadsAndReset) {
+  MessageBus bus;
+  bus.SendBytes("A", "B", {1, 2, 3});
+  auto words = bus.ReceiveBytes("A", "B");
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ(words->size(), 3u);
+  bus.Reset();
+  EXPECT_EQ(bus.TotalBytes(), 0u);
+  EXPECT_TRUE(bus.ReceiveBytes("A", "B").status().IsNotFound());
+}
+
+TEST(SecretSharingTest, RoundTripExactForFixedPointValues) {
+  AdditiveSecretSharing sharing;
+  Rng rng(1);
+  la::DenseMatrix secret({{1.5, -2.25}, {0.0, 1000.125}});
+  auto shares = sharing.Share(secret, 3, &rng);
+  ASSERT_EQ(shares.size(), 3u);
+  la::DenseMatrix restored = sharing.Reconstruct(shares);
+  EXPECT_LT(restored.MaxAbsDiff(secret), 1e-6);
+}
+
+TEST(SecretSharingTest, IndividualSharesLookRandom) {
+  AdditiveSecretSharing sharing;
+  Rng rng(2);
+  la::DenseMatrix secret = la::DenseMatrix::Constant(1, 64, 5.0);
+  auto shares = sharing.Share(secret, 2, &rng);
+  // The first share is uniform: its cells should not all decode near 5.
+  size_t near_secret = 0;
+  for (size_t j = 0; j < 64; ++j) {
+    if (std::fabs(sharing.Decode(shares[0].At(0, j)) - 5.0) < 1.0) {
+      ++near_secret;
+    }
+  }
+  EXPECT_LT(near_secret, 8u);
+}
+
+TEST(SecretSharingTest, AdditionIsHomomorphic) {
+  AdditiveSecretSharing sharing;
+  Rng rng(3);
+  la::DenseMatrix a({{1.25, -4.0}});
+  la::DenseMatrix b({{2.5, 3.5}});
+  auto shares_a = sharing.Share(a, 2, &rng);
+  auto shares_b = sharing.Share(b, 2, &rng);
+  std::vector<ShareMatrix> sum_shares{
+      AdditiveSecretSharing::AddShares(shares_a[0], shares_b[0]),
+      AdditiveSecretSharing::AddShares(shares_a[1], shares_b[1])};
+  la::DenseMatrix sum = sharing.Reconstruct(sum_shares);
+  EXPECT_LT(sum.MaxAbsDiff(a.Add(b)), 1e-6);
+}
+
+TEST(SecretSharingTest, NegativeAndLargeMagnitudes) {
+  AdditiveSecretSharing sharing;
+  Rng rng(4);
+  la::DenseMatrix secret({{-1e6, 1e-5, -3.14159, 7.0}});
+  auto shares = sharing.Share(secret, 5, &rng);
+  EXPECT_LT(sharing.Reconstruct(shares).MaxAbsDiff(secret), 1e-4);
+}
+
+TEST(PrimalityTest, KnownPrimesAndComposites) {
+  EXPECT_TRUE(IsPrime64(2));
+  EXPECT_TRUE(IsPrime64(3));
+  EXPECT_TRUE(IsPrime64(1000000007ULL));
+  EXPECT_TRUE(IsPrime64(2147483647ULL));  // 2^31 - 1
+  EXPECT_FALSE(IsPrime64(0));
+  EXPECT_FALSE(IsPrime64(1));
+  EXPECT_FALSE(IsPrime64(1000000007ULL * 3));
+  EXPECT_FALSE(IsPrime64(561));   // Carmichael
+  EXPECT_FALSE(IsPrime64(6601));  // Carmichael
+}
+
+TEST(PaillierTest, KeyGenerationProducesValidModulus) {
+  PaillierKeyPair keys = Paillier::GenerateKeys(42, 24);
+  EXPECT_GT(keys.public_key.n, uint64_t{1} << 46);
+  EXPECT_EQ(keys.public_key.n_squared,
+            static_cast<unsigned __int128>(keys.public_key.n) *
+                keys.public_key.n);
+  // Deterministic in the seed.
+  EXPECT_EQ(Paillier::GenerateKeys(42, 24).public_key.n, keys.public_key.n);
+  EXPECT_NE(Paillier::GenerateKeys(43, 24).public_key.n, keys.public_key.n);
+}
+
+TEST(PaillierTest, RawRoundTrip) {
+  Paillier paillier(Paillier::GenerateKeys(7, 28));
+  Rng rng(1);
+  for (uint64_t m : {0ULL, 1ULL, 12345ULL, 99999999ULL}) {
+    EXPECT_EQ(paillier.DecryptRaw(paillier.EncryptRaw(m, &rng)), m);
+  }
+}
+
+TEST(PaillierTest, EncryptionIsRandomized) {
+  Paillier paillier(Paillier::GenerateKeys(7, 28));
+  Rng rng(2);
+  auto c1 = paillier.EncryptRaw(42, &rng);
+  auto c2 = paillier.EncryptRaw(42, &rng);
+  EXPECT_TRUE(c1 != c2);  // fresh randomness
+  EXPECT_EQ(paillier.DecryptRaw(c1), paillier.DecryptRaw(c2));
+}
+
+TEST(PaillierTest, AdditiveHomomorphism) {
+  Paillier paillier(Paillier::GenerateKeys(11, 28));
+  Rng rng(3);
+  auto ca = paillier.EncryptRaw(1000, &rng);
+  auto cb = paillier.EncryptRaw(2345, &rng);
+  EXPECT_EQ(paillier.DecryptRaw(paillier.CipherAdd(ca, cb)), 3345u);
+  EXPECT_EQ(paillier.DecryptRaw(paillier.CipherScale(ca, 7)), 7000u);
+}
+
+TEST(PaillierTest, DoubleEncodingHandlesNegatives) {
+  Paillier paillier(Paillier::GenerateKeys(13, 28), 16);
+  Rng rng(4);
+  for (double v : {0.0, 1.5, -1.5, 123.456, -987.654}) {
+    EXPECT_NEAR(paillier.DecryptDouble(paillier.EncryptDouble(v, &rng)), v,
+                1e-4);
+  }
+}
+
+TEST(PaillierTest, HomomorphicSumOfDoubles) {
+  Paillier paillier(Paillier::GenerateKeys(17, 28), 16);
+  Rng rng(5);
+  auto ca = paillier.EncryptDouble(2.5, &rng);
+  auto cb = paillier.EncryptDouble(-1.25, &rng);
+  EXPECT_NEAR(paillier.DecryptDouble(paillier.CipherAdd(ca, cb)), 1.25, 1e-4);
+}
+
+TEST(PaillierTest, MatrixRoundTripAndPacking) {
+  Paillier paillier(Paillier::GenerateKeys(19, 26), 12);
+  Rng rng(6);
+  la::DenseMatrix values({{1.5, -2.0}, {0.25, 3.75}});
+  auto ciphertexts = paillier.EncryptMatrix(values, &rng);
+  auto packed = PackCiphertexts(ciphertexts);
+  EXPECT_EQ(packed.size(), 8u);
+  auto unpacked = UnpackCiphertexts(packed);
+  la::DenseMatrix restored = paillier.DecryptMatrix(unpacked, 2, 2);
+  EXPECT_LT(restored.MaxAbsDiff(values), 1e-3);
+}
+
+}  // namespace
+}  // namespace federated
+}  // namespace amalur

@@ -1,0 +1,71 @@
+#include "integration/tgd.h"
+
+#include <gtest/gtest.h>
+
+namespace amalur {
+namespace integration {
+namespace {
+
+// m1 of the running example: S1(m,n,a,hr) ∧ S2(m,n,a,o,dd) → T(m,a,hr,o).
+Tgd MakeJointTgd() {
+  return Tgd({TgdAtom{"S1", {"m", "n", "a", "hr"}},
+              TgdAtom{"S2", {"m", "n", "a", "o", "dd"}}},
+             TgdAtom{"T", {"m", "a", "hr", "o"}});
+}
+
+// m2: S1(m,n,a,hr) → ∃o T(m,a,hr,o).
+Tgd MakeS1Tgd() {
+  return Tgd({TgdAtom{"S1", {"m", "n", "a", "hr"}}},
+             TgdAtom{"T", {"m", "a", "hr", "o"}});
+}
+
+TEST(TgdAtomTest, ToString) {
+  EXPECT_EQ((TgdAtom{"S1", {"m", "n"}}).ToString(), "S1(m, n)");
+  EXPECT_EQ((TgdAtom{"T", {}}).ToString(), "T()");
+}
+
+TEST(TgdTest, UniversalVariablesAreBodyVarsInOrder) {
+  EXPECT_EQ(MakeJointTgd().UniversalVariables(),
+            (std::vector<std::string>{"m", "n", "a", "hr", "o", "dd"}));
+  EXPECT_EQ(MakeS1Tgd().UniversalVariables(),
+            (std::vector<std::string>{"m", "n", "a", "hr"}));
+}
+
+TEST(TgdTest, ExistentialVariablesAreHeadOnlyVars) {
+  EXPECT_TRUE(MakeJointTgd().ExistentialVariables().empty());
+  EXPECT_EQ(MakeS1Tgd().ExistentialVariables(),
+            (std::vector<std::string>{"o"}));
+}
+
+TEST(TgdTest, FullTgdDetection) {
+  EXPECT_TRUE(MakeJointTgd().IsFull());   // Example IV.1: m1 is full
+  EXPECT_FALSE(MakeS1Tgd().IsFull());     // m2 has ∃o
+}
+
+TEST(TgdTest, JointDetection) {
+  EXPECT_TRUE(MakeJointTgd().IsJoint());
+  EXPECT_FALSE(MakeS1Tgd().IsJoint());
+}
+
+TEST(TgdTest, JoinVariablesAreSharedBodyVars) {
+  EXPECT_EQ(MakeJointTgd().JoinVariables(),
+            (std::vector<std::string>{"m", "n", "a"}));
+  EXPECT_TRUE(MakeS1Tgd().JoinVariables().empty());
+}
+
+TEST(TgdTest, ToStringRendersQuantifiers) {
+  EXPECT_EQ(MakeS1Tgd().ToString(),
+            "∀ m, n, a, hr (S1(m, n, a, hr) → ∃ o T(m, a, hr, o))");
+  EXPECT_EQ(MakeJointTgd().ToString(),
+            "∀ m, n, a, hr, o, dd (S1(m, n, a, hr) ∧ S2(m, n, a, o, dd) → "
+            "T(m, a, hr, o))");
+}
+
+TEST(TgdTest, Equality) {
+  EXPECT_EQ(MakeJointTgd(), MakeJointTgd());
+  EXPECT_FALSE(MakeJointTgd() == MakeS1Tgd());
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace amalur

@@ -1,0 +1,161 @@
+#include "la/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/dense_matrix.h"
+
+namespace amalur {
+namespace la {
+namespace {
+
+/// A random sparse matrix with roughly `density` nonzeros, mirrored as dense.
+std::pair<SparseMatrix, DenseMatrix> RandomPair(size_t rows, size_t cols,
+                                                double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  DenseMatrix dense(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.NextBernoulli(density)) {
+        double v = rng.NextGaussian();
+        triplets.push_back({i, j, v});
+        dense.At(i, j) = v;
+      }
+    }
+  }
+  return {SparseMatrix::FromTriplets(rows, cols, std::move(triplets)), dense};
+}
+
+TEST(SparseMatrixTest, FromTripletsBasics) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 4, {{0, 1, 2.0}, {2, 3, -1.0}, {1, 0, 5.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 3), -1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, DuplicateTripletsAreSummed) {
+  SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, -3.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+}
+
+TEST(SparseMatrixTest, CancellingDuplicatesAreDropped) {
+  SparseMatrix m = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(SparseMatrixTest, DenseRoundTrip) {
+  auto [sparse, dense] = RandomPair(9, 7, 0.3, 42);
+  EXPECT_TRUE(sparse.ToDense().ApproxEquals(dense, 0.0));
+  EXPECT_TRUE(SparseMatrix::FromDense(dense).ToDense().ApproxEquals(dense, 0.0));
+}
+
+TEST(SparseMatrixTest, IdentityActsAsIdentity) {
+  Rng rng(1);
+  DenseMatrix x = DenseMatrix::RandomGaussian(6, 3, &rng);
+  EXPECT_TRUE(SparseMatrix::Identity(6).Multiply(x).ApproxEquals(x, 0.0));
+}
+
+TEST(SparseMatrixTest, DensityComputed) {
+  SparseMatrix m = SparseMatrix::FromTriplets(2, 5, {{0, 0, 1.0}, {1, 4, 1.0}});
+  EXPECT_DOUBLE_EQ(m.Density(), 0.2);
+  EXPECT_DOUBLE_EQ(SparseMatrix().Density(), 0.0);
+}
+
+/// SpMM against the dense reference over several shapes and densities.
+class SpmmEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(SpmmEquivalenceTest, MultiplyMatchesDense) {
+  auto [m, k, n, density] = GetParam();
+  auto [sparse, dense] = RandomPair(m, k, density, 7 * m + k + n);
+  Rng rng(99);
+  DenseMatrix x = DenseMatrix::RandomGaussian(k, n, &rng);
+  EXPECT_LT(sparse.Multiply(x).MaxAbsDiff(dense.Multiply(x)), 1e-10);
+}
+
+TEST_P(SpmmEquivalenceTest, TransposeMultiplyMatchesDense) {
+  auto [m, k, n, density] = GetParam();
+  auto [sparse, dense] = RandomPair(m, k, density, 13 * m + k + n);
+  Rng rng(98);
+  DenseMatrix x = DenseMatrix::RandomGaussian(m, n, &rng);
+  EXPECT_LT(sparse.TransposeMultiply(x).MaxAbsDiff(
+                dense.Transpose().Multiply(x)),
+            1e-10);
+}
+
+TEST_P(SpmmEquivalenceTest, LeftMultiplyMatchesDense) {
+  auto [m, k, n, density] = GetParam();
+  auto [sparse, dense] = RandomPair(m, k, density, 17 * m + k + n);
+  Rng rng(97);
+  DenseMatrix x = DenseMatrix::RandomGaussian(n, m, &rng);
+  EXPECT_LT(sparse.LeftMultiply(x).MaxAbsDiff(x.Multiply(dense)), 1e-10);
+}
+
+TEST_P(SpmmEquivalenceTest, LeftMultiplyTransposeMatchesDense) {
+  auto [m, k, n, density] = GetParam();
+  auto [sparse, dense] = RandomPair(m, k, density, 19 * m + k + n);
+  Rng rng(96);
+  DenseMatrix x = DenseMatrix::RandomGaussian(n, k, &rng);
+  EXPECT_LT(sparse.LeftMultiplyTranspose(x).MaxAbsDiff(
+                x.Multiply(dense.Transpose())),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndDensities, SpmmEquivalenceTest,
+    ::testing::Values(std::make_tuple(1, 1, 1, 1.0),
+                      std::make_tuple(5, 7, 3, 0.1),
+                      std::make_tuple(20, 10, 4, 0.5),
+                      std::make_tuple(33, 17, 9, 0.05),
+                      std::make_tuple(12, 12, 12, 0.9),
+                      std::make_tuple(40, 3, 2, 0.02)));
+
+TEST(SparseMatrixTest, SpGemmMatchesDense) {
+  auto [a_sparse, a_dense] = RandomPair(8, 6, 0.4, 1);
+  auto [b_sparse, b_dense] = RandomPair(6, 5, 0.4, 2);
+  EXPECT_TRUE(a_sparse.MultiplySparse(b_sparse)
+                  .ToDense()
+                  .ApproxEquals(a_dense.Multiply(b_dense), 1e-10));
+}
+
+TEST(SparseMatrixTest, TransposeMatchesDense) {
+  auto [sparse, dense] = RandomPair(10, 4, 0.3, 3);
+  EXPECT_TRUE(sparse.Transpose().ToDense().ApproxEquals(dense.Transpose(), 0.0));
+}
+
+TEST(SparseMatrixTest, ScaleAndSums) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  EXPECT_DOUBLE_EQ(m.Scale(2.0).Sum(), 12.0);
+  EXPECT_TRUE(m.RowSums().ApproxEquals(DenseMatrix({{3}, {3}})));
+  EXPECT_TRUE(m.ColSums().ApproxEquals(DenseMatrix({{1, 3, 2}})));
+}
+
+TEST(SparseMatrixTest, ApproxEqualsIgnoresStructure) {
+  SparseMatrix a = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}});
+  SparseMatrix b =
+      SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 0.0}});
+  EXPECT_TRUE(a.ApproxEquals(b));
+  SparseMatrix c = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.5}});
+  EXPECT_FALSE(a.ApproxEquals(c));
+}
+
+TEST(SparseMatrixTest, EmptyMatrixIsSafe) {
+  SparseMatrix empty;
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.nnz(), 0u);
+  SparseMatrix zero_rows = SparseMatrix::FromTriplets(0, 5, {});
+  EXPECT_EQ(zero_rows.Multiply(DenseMatrix(5, 2)).rows(), 0u);
+}
+
+}  // namespace
+}  // namespace la
+}  // namespace amalur

@@ -1,0 +1,134 @@
+#include "metadata/redundancy_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace amalur {
+namespace metadata {
+namespace {
+
+// Running-example metadata (Figure 4).
+std::vector<CompressedMapping> MakeMappings() {
+  return {CompressedMapping({0, 1, 2, -1}, 3),   // CM1
+          CompressedMapping({0, 1, -1, 2}, 3)};  // CM2
+}
+std::vector<CompressedIndicator> MakeIndicators() {
+  return {CompressedIndicator({3, 0, 1, 2, -1, -1}, 4),   // CI1
+          CompressedIndicator({2, -1, -1, -1, 0, 1}, 3)};  // CI2
+}
+
+TEST(RedundancyMaskTest, BaseTableIsAllOnes) {
+  RedundancyMask r1 = RedundancyMask::Derive(0, MakeIndicators(), MakeMappings());
+  EXPECT_FALSE(r1.HasRedundancy());
+  EXPECT_EQ(r1.RedundantCellCount(), 0u);
+  EXPECT_TRUE(
+      r1.ToDense().ApproxEquals(la::DenseMatrix::Constant(6, 4, 1.0), 0.0));
+}
+
+TEST(RedundancyMaskTest, Figure4cR2Values) {
+  RedundancyMask r2 = RedundancyMask::Derive(1, MakeIndicators(), MakeMappings());
+  // Paper: R2 row 0 (Jane, matched) is [0, 0, 1, 1]; all other rows are 1s.
+  la::DenseMatrix expected({{0, 0, 1, 1},
+                            {1, 1, 1, 1},
+                            {1, 1, 1, 1},
+                            {1, 1, 1, 1},
+                            {1, 1, 1, 1},
+                            {1, 1, 1, 1}});
+  EXPECT_TRUE(r2.ToDense().ApproxEquals(expected, 0.0)) << r2.ToDense().ToString();
+  EXPECT_TRUE(r2.HasRedundancy());
+  EXPECT_EQ(r2.RedundantCellCount(), 2u);
+  EXPECT_TRUE(r2.IsRedundant(0, 0));
+  EXPECT_TRUE(r2.IsRedundant(0, 1));
+  EXPECT_FALSE(r2.IsRedundant(0, 2));  // hr: S2 contributes nothing there
+  EXPECT_FALSE(r2.IsRedundant(0, 3));  // o: S2-only column
+  EXPECT_FALSE(r2.IsRedundant(4, 0));  // Rose: S1 does not cover the row
+}
+
+TEST(RedundancyMaskTest, ApplyInPlaceZeroesRedundantCells) {
+  RedundancyMask r2 = RedundancyMask::Derive(1, MakeIndicators(), MakeMappings());
+  la::DenseMatrix t2({{1, 37, 0, 92},
+                      {0, 0, 0, 0},
+                      {0, 0, 0, 0},
+                      {0, 0, 0, 0},
+                      {1, 45, 0, 95},
+                      {0, 20, 0, 97}});
+  r2.ApplyInPlace(&t2);
+  // Jane's m and a are dropped; Rose/Castiel untouched (Figure 4c).
+  EXPECT_TRUE(t2.ApproxEquals(la::DenseMatrix({{0, 0, 0, 92},
+                                               {0, 0, 0, 0},
+                                               {0, 0, 0, 0},
+                                               {0, 0, 0, 0},
+                                               {1, 45, 0, 95},
+                                               {0, 20, 0, 97}})));
+}
+
+TEST(RedundancyMaskTest, ApplyMatchesDenseHadamard) {
+  RedundancyMask r2 = RedundancyMask::Derive(1, MakeIndicators(), MakeMappings());
+  la::DenseMatrix t2 = la::DenseMatrix::Constant(6, 4, 5.0);
+  la::DenseMatrix expected = t2.Hadamard(r2.ToDense());
+  r2.ApplyInPlace(&t2);
+  EXPECT_TRUE(t2.ApproxEquals(expected, 0.0));
+}
+
+TEST(RedundancyMaskTest, NoColumnOverlapMeansNoRedundancy) {
+  // Disjoint target columns (Morpheus setting): CM1 -> cols {0,1},
+  // CM2 -> cols {2,3}; rows overlap fully.
+  std::vector<CompressedMapping> mappings{CompressedMapping({0, 1, -1, -1}, 2),
+                                          CompressedMapping({-1, -1, 0, 1}, 2)};
+  std::vector<CompressedIndicator> indicators{CompressedIndicator({0, 1}, 2),
+                                              CompressedIndicator({0, 1}, 2)};
+  RedundancyMask r2 = RedundancyMask::Derive(1, indicators, mappings);
+  EXPECT_FALSE(r2.HasRedundancy());
+}
+
+TEST(RedundancyMaskTest, NoRowOverlapMeansNoRedundancy) {
+  // Union-style: same columns, disjoint rows.
+  std::vector<CompressedMapping> mappings{CompressedMapping({0, 1}, 2),
+                                          CompressedMapping({0, 1}, 2)};
+  std::vector<CompressedIndicator> indicators{
+      CompressedIndicator({0, 1, -1, -1}, 2),
+      CompressedIndicator({-1, -1, 0, 1}, 2)};
+  RedundancyMask r2 = RedundancyMask::Derive(1, indicators, mappings);
+  EXPECT_FALSE(r2.HasRedundancy());
+}
+
+TEST(RedundancyMaskTest, FullOverlapMasksWholeRows) {
+  // Both sources map both target columns and share both rows: every cell of
+  // T_2 is redundant.
+  std::vector<CompressedMapping> mappings{CompressedMapping({0, 1}, 2),
+                                          CompressedMapping({0, 1}, 2)};
+  std::vector<CompressedIndicator> indicators{CompressedIndicator({0, 1}, 2),
+                                              CompressedIndicator({0, 1}, 2)};
+  RedundancyMask r2 = RedundancyMask::Derive(1, indicators, mappings);
+  EXPECT_EQ(r2.RedundantCellCount(), 4u);
+  EXPECT_TRUE(r2.ToDense().ApproxEquals(la::DenseMatrix::Zeros(2, 2), 0.0));
+}
+
+TEST(RedundancyMaskTest, ThreeSourceChainUnionsCoverage) {
+  // Source 2 overlaps source 0 on column 0 and source 1 on column 1;
+  // a row covered by both earlier sources masks both columns.
+  std::vector<CompressedMapping> mappings{
+      CompressedMapping({0, -1, -1}, 1),   // S0 -> col 0
+      CompressedMapping({-1, 0, -1}, 1),   // S1 -> col 1
+      CompressedMapping({0, 1, 2}, 3)};    // S2 -> cols 0,1,2
+  std::vector<CompressedIndicator> indicators{
+      CompressedIndicator({0, -1, 1}, 2),   // S0 covers target rows 0, 2
+      CompressedIndicator({0, 0, -1}, 1),   // S1 covers target rows 0, 1
+      CompressedIndicator({0, 1, 2}, 3)};   // S2 contributes everywhere
+  RedundancyMask r3 = RedundancyMask::Derive(2, indicators, mappings);
+  la::DenseMatrix expected({{0, 0, 1},    // both cover row 0
+                            {1, 0, 1},    // only S1 covers row 1
+                            {0, 1, 1}});  // only S0 covers row 2
+  EXPECT_TRUE(r3.ToDense().ApproxEquals(expected, 0.0)) << r3.ToDense().ToString();
+}
+
+TEST(RedundancyMaskTest, AllOnesFactory) {
+  RedundancyMask r = RedundancyMask::AllOnes(3, 2);
+  EXPECT_FALSE(r.HasRedundancy());
+  EXPECT_EQ(r.target_rows(), 3u);
+  EXPECT_EQ(r.target_cols(), 2u);
+  EXPECT_EQ(r.row_set(0), -1);
+}
+
+}  // namespace
+}  // namespace metadata
+}  // namespace amalur

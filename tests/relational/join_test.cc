@@ -1,0 +1,179 @@
+#include "relational/join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace amalur {
+namespace rel {
+namespace {
+
+// The paper's running example (Figure 2), keyed on patient name.
+Table MakeS1() {
+  Table t("S1");
+  AMALUR_CHECK_OK(t.AddColumn(Column::FromInt64s("m", {0, 1, 2, 3})));
+  AMALUR_CHECK_OK(
+      t.AddColumn(Column::FromStrings("n", {"Jack", "Sam", "Ruby", "Jane"})));
+  AMALUR_CHECK_OK(t.AddColumn(Column::FromInt64s("a", {20, 35, 22, 37})));
+  AMALUR_CHECK_OK(t.AddColumn(Column::FromInt64s("hr", {60, 58, 65, 70})));
+  return t;
+}
+
+Table MakeS2() {
+  Table t("S2");
+  AMALUR_CHECK_OK(t.AddColumn(Column::FromInt64s("m", {0, 1, 2})));
+  AMALUR_CHECK_OK(
+      t.AddColumn(Column::FromStrings("n", {"Rose", "Castiel", "Jane"})));
+  AMALUR_CHECK_OK(t.AddColumn(Column::FromInt64s("a", {45, 20, 37})));
+  AMALUR_CHECK_OK(t.AddColumn(Column::FromInt64s("o", {95, 97, 92})));
+  AMALUR_CHECK_OK(t.AddColumn(
+      Column::FromStrings("dd", {"1/4/21", "3/8/22", "11/5/21"})));
+  return t;
+}
+
+TEST(MatchRowsTest, RunningExampleMatchesJaneOnly) {
+  auto matching = MatchRowsOnKeys(MakeS1(), MakeS2(), {"n", "a"}, {"n", "a"});
+  ASSERT_TRUE(matching.ok());
+  ASSERT_EQ(matching->matched.size(), 1u);
+  EXPECT_EQ(matching->matched[0], (std::pair<size_t, size_t>{3, 2}));
+  EXPECT_EQ(matching->left_only, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(matching->right_only, (std::vector<size_t>{0, 1}));
+}
+
+TEST(MatchRowsTest, NullKeysNeverMatch) {
+  Table l("L");
+  Column lk("k", DataType::kInt64);
+  lk.AppendInt64(1);
+  lk.AppendNull();
+  AMALUR_CHECK_OK(l.AddColumn(std::move(lk)));
+  Table r("R");
+  Column rk("k", DataType::kInt64);
+  rk.AppendNull();
+  rk.AppendInt64(1);
+  AMALUR_CHECK_OK(r.AddColumn(std::move(rk)));
+  auto matching = MatchRowsOnKeys(l, r, {"k"}, {"k"});
+  ASSERT_TRUE(matching.ok());
+  ASSERT_EQ(matching->matched.size(), 1u);
+  EXPECT_EQ(matching->matched[0], (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_EQ(matching->left_only, (std::vector<size_t>{1}));
+  EXPECT_EQ(matching->right_only, (std::vector<size_t>{0}));
+}
+
+TEST(MatchRowsTest, DuplicateKeysCrossProduct) {
+  Table l("L");
+  AMALUR_CHECK_OK(l.AddColumn(Column::FromInt64s("k", {7, 7})));
+  Table r("R");
+  AMALUR_CHECK_OK(r.AddColumn(Column::FromInt64s("k", {7, 7, 8})));
+  auto matching = MatchRowsOnKeys(l, r, {"k"}, {"k"});
+  ASSERT_TRUE(matching.ok());
+  EXPECT_EQ(matching->matched.size(), 4u);  // 2 x 2
+  EXPECT_EQ(matching->right_only, (std::vector<size_t>{2}));
+}
+
+TEST(MatchRowsTest, CompositeKeySeparatorIsUnambiguous) {
+  // "a"+"bc" must not equal "ab"+"c".
+  Table l("L");
+  AMALUR_CHECK_OK(l.AddColumn(Column::FromStrings("p", {"a"})));
+  AMALUR_CHECK_OK(l.AddColumn(Column::FromStrings("q", {"bc"})));
+  Table r("R");
+  AMALUR_CHECK_OK(r.AddColumn(Column::FromStrings("p", {"ab"})));
+  AMALUR_CHECK_OK(r.AddColumn(Column::FromStrings("q", {"c"})));
+  auto matching = MatchRowsOnKeys(l, r, {"p", "q"}, {"p", "q"});
+  ASSERT_TRUE(matching.ok());
+  EXPECT_TRUE(matching->matched.empty());
+}
+
+TEST(MatchRowsTest, RejectsBadKeyLists) {
+  EXPECT_TRUE(MatchRowsOnKeys(MakeS1(), MakeS2(), {}, {}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MatchRowsOnKeys(MakeS1(), MakeS2(), {"n"}, {"n", "a"}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      MatchRowsOnKeys(MakeS1(), MakeS2(), {"zz"}, {"n"}).status().IsNotFound());
+}
+
+TEST(HashJoinTest, InnerJoinRunningExample) {
+  auto joined =
+      HashJoin(MakeS1(), MakeS2(), {"n", "a"}, {"n", "a"}, JoinKind::kInnerJoin);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->table.NumRows(), 1u);
+  // Columns: m n a hr | m_S2 o dd
+  EXPECT_EQ(joined->table.schema().Names(),
+            (std::vector<std::string>{"m", "n", "a", "hr", "m_S2", "o", "dd"}));
+  EXPECT_EQ(joined->table.column(1).GetValue(0).str(), "Jane");
+  EXPECT_EQ(joined->table.column(5).GetValue(0).int64(), 92);
+  EXPECT_EQ(joined->left_rows, (std::vector<size_t>{3}));
+  EXPECT_EQ(joined->right_rows, (std::vector<size_t>{2}));
+}
+
+TEST(HashJoinTest, LeftJoinPadsRightWithNulls) {
+  auto joined =
+      HashJoin(MakeS1(), MakeS2(), {"n", "a"}, {"n", "a"}, JoinKind::kLeftJoin);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->table.NumRows(), 4u);
+  // Row 0 is the matched Jane row; others are left-only with NULL o.
+  auto o = joined->table.ColumnByName("o");
+  ASSERT_TRUE(o.ok());
+  size_t nulls = 0;
+  for (size_t i = 0; i < 4; ++i) nulls += (*o)->IsNull(i) ? 1 : 0;
+  EXPECT_EQ(nulls, 3u);
+}
+
+TEST(HashJoinTest, FullOuterJoinKeepsEverything) {
+  auto joined = HashJoin(MakeS1(), MakeS2(), {"n", "a"}, {"n", "a"},
+                         JoinKind::kFullOuterJoin);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->table.NumRows(), 6u);  // 1 matched + 3 left + 2 right
+  size_t left_nulls = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    left_nulls += joined->left_rows[i] == Column::kNullRow ? 1 : 0;
+  }
+  EXPECT_EQ(left_nulls, 2u);
+}
+
+TEST(HashJoinTest, UnionKindRejected) {
+  EXPECT_TRUE(HashJoin(MakeS1(), MakeS2(), {"n"}, {"n"}, JoinKind::kUnion)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(UnionAllTest, MapsColumnsAndPadsMissing) {
+  // Target schema T(m, a, hr, o); S1 has no o, S2 has no hr and drops dd.
+  Schema target({{"m", DataType::kInt64, true},
+                 {"a", DataType::kInt64, true},
+                 {"hr", DataType::kInt64, true},
+                 {"o", DataType::kInt64, true}});
+  Table s1 = MakeS1();  // m n a hr
+  Table s2 = MakeS2();  // m n a o dd
+  auto unioned = UnionAll(s1, s2, target,
+                          {0, Column::kNullRow, 1, 2},
+                          {0, Column::kNullRow, 1, 3, Column::kNullRow});
+  ASSERT_TRUE(unioned.ok()) << unioned.status();
+  EXPECT_EQ(unioned->table.NumRows(), 7u);
+  EXPECT_EQ(unioned->table.NumColumns(), 4u);
+  // First S1 block: hr present, o NULL.
+  auto o = unioned->table.ColumnByName("o");
+  ASSERT_TRUE(o.ok());
+  EXPECT_TRUE((*o)->IsNull(0));
+  EXPECT_EQ((*o)->GetValue(4).int64(), 95);
+  // Provenance.
+  EXPECT_EQ(unioned->left_rows[2], 2u);
+  EXPECT_EQ(unioned->right_rows[2], Column::kNullRow);
+  EXPECT_EQ(unioned->right_rows[4], 0u);
+}
+
+TEST(UnionAllTest, RejectsBadMappingSizes) {
+  Schema target = Schema::AllDouble({"m"});
+  EXPECT_TRUE(UnionAll(MakeS1(), MakeS2(), target, {0}, {0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(JoinKindTest, Names) {
+  EXPECT_STREQ(JoinKindToString(JoinKind::kInnerJoin), "inner join");
+  EXPECT_STREQ(JoinKindToString(JoinKind::kUnion), "union");
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace amalur
