@@ -69,7 +69,11 @@ int main() {
   AMALUR_CHECK_OK(system.catalog()->RegisterSource(
       {"lab", pair.other, "laboratory", false}));
 
-  auto integration = system.Integrate("clinic", "lab", rel::JoinKind::kLeftJoin);
+  core::IntegrationSpec integration_spec;
+  integration_spec.name = "clinic-lab";
+  integration_spec.sources = {"clinic", "lab"};
+  integration_spec.relationships = {rel::JoinKind::kLeftJoin};
+  auto integration = system.Integrate(integration_spec);
   AMALUR_CHECK(integration.ok()) << integration.status();
   std::printf("Integrated target schema: %s\n",
               integration->mapping.target_schema().ToString().c_str());
@@ -77,7 +81,7 @@ int main() {
               integration->metadata.TupleRatio(1),
               integration->metadata.FeatureRatio(1));
 
-  core::Plan plan = system.PlanFor(*integration);
+  core::Plan plan = system.Explain(*integration);
   std::printf("Optimizer: %s\n\n", plan.explanation.c_str());
 
   // --- Quality: augmentation beats the base-only model.
@@ -87,29 +91,24 @@ int main() {
   request.label_column = "y";
   request.gd.iterations = iterations;
   request.gd.learning_rate = 0.05;
-  auto outcome = system.Train(*integration, request, "augmented-model");
-  AMALUR_CHECK(outcome.ok()) << outcome.status();
+  auto model = system.Train(*integration, request, "augmented-model");
+  AMALUR_CHECK(model.ok()) << model.status();
   std::printf("MSE base silo only : %.4f\n", base_only);
   std::printf("MSE augmented      : %.4f   (strategy: %s, %.3fs)\n\n",
-              outcome->loss_history.back(),
-              core::ExecutionStrategyToString(outcome->strategy_used),
-              outcome->seconds);
+              model->outcome().loss_history.back(),
+              core::ExecutionStrategyToString(model->outcome().strategy_used),
+              model->outcome().seconds);
 
-  // --- Performance: force both strategies and time them.
-  core::Executor executor;
-  core::Plan force_fact{core::ExecutionStrategy::kFactorize, {}, "forced"};
-  core::Plan force_mat{core::ExecutionStrategy::kMaterialize, {}, "forced"};
-  Stopwatch watch;
-  auto fact = executor.Run(integration->metadata, force_fact, request);
-  const double fact_seconds = watch.ElapsedSeconds();
-  watch.Restart();
-  auto mat = executor.Run(integration->metadata, force_mat, request);
-  const double mat_seconds = watch.ElapsedSeconds();
+  // --- Performance: force both strategies through the facade and time them.
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto fact = system.Train(*integration, request);
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto mat = system.Train(*integration, request);
   AMALUR_CHECK(fact.ok() && mat.ok()) << "execution failed";
-  std::printf("Forced factorized  : %.3fs\n", fact_seconds);
-  std::printf("Forced materialized: %.3fs\n", mat_seconds);
+  std::printf("Forced factorized  : %.3fs\n", fact->outcome().seconds);
+  std::printf("Forced materialized: %.3fs\n", mat->outcome().seconds);
   std::printf("Weight agreement   : max |Δw| = %.2e (factorization does not "
               "change the model)\n",
-              fact->weights.MaxAbsDiff(mat->weights));
+              fact->weights().MaxAbsDiff(mat->weights()));
   return 0;
 }

@@ -32,10 +32,13 @@ int main() {
   AMALUR_CHECK_OK(system.catalog()->RegisterSource(
       {"bank_b", pair.other, "bank-b-dc", /*privacy_sensitive=*/true}));
 
-  auto integration = system.Integrate("bank_a", "bank_b",
-                                      rel::JoinKind::kInnerJoin);
+  core::IntegrationSpec spec2;
+  spec2.name = "joint-customers";
+  spec2.sources = {"bank_a", "bank_b"};
+  spec2.relationships = {rel::JoinKind::kInnerJoin};
+  auto integration = system.Integrate(spec2);
   AMALUR_CHECK(integration.ok()) << integration.status();
-  core::Plan plan = system.PlanFor(*integration);
+  core::Plan plan = system.Explain(*integration);
   std::printf("Optimizer: %s\n\n", plan.explanation.c_str());
 
   // --- Vertical FLR through the system facade (plaintext wires).
@@ -43,11 +46,12 @@ int main() {
   request.label_column = "y";
   request.gd.iterations = 80;
   request.gd.learning_rate = 0.1;
-  auto outcome = system.Train(*integration, request, "joint-risk-model");
-  AMALUR_CHECK(outcome.ok()) << outcome.status();
+  auto model = system.Train(*integration, request, "joint-risk-model");
+  AMALUR_CHECK(model.ok()) << model.status();
+  const core::TrainOutcome& outcome = model->outcome();
   std::printf("VFL (plaintext wires): loss %.4f -> %.4f, %zu bytes moved\n",
-              outcome->loss_history.front(), outcome->loss_history.back(),
-              outcome->bytes_transferred);
+              outcome.loss_history.front(), outcome.loss_history.back(),
+              outcome.bytes_transferred);
 
   // --- The same protocol with Paillier-encrypted residual/gradient
   // exchange: identical learning curve shape, heavier wires.

@@ -6,7 +6,8 @@
 // columns, synthesizes the mediated schema T(m, a, hr, o), resolves Jane as
 // the shared entity, derives the mapping/indicator/redundancy matrices, and
 // trains a mortality model — choosing factorized or materialized execution
-// by cost.
+// by cost. The trained ModelHandle then serves predictions and an
+// evaluation over the materialized target.
 
 #include <cstdio>
 
@@ -26,12 +27,15 @@ int main() {
   AMALUR_CHECK_OK(system.catalog()->RegisterSource(
       {"S2", example.s2, "hospital-pulmonary", /*privacy_sensitive=*/false}));
 
-  auto integration =
-      system.Integrate("S1", "S2", rel::JoinKind::kFullOuterJoin);
+  core::IntegrationSpec spec;
+  spec.name = "er-pulmonary";  // stored in the catalog for later reuse
+  spec.sources = {"S1", "S2"};
+  spec.relationships = {rel::JoinKind::kFullOuterJoin};
+  auto integration = system.Integrate(spec);
   AMALUR_CHECK(integration.ok()) << integration.status();
 
   std::printf("=== Discovered column matches ===\n");
-  for (const auto& match : integration->column_matches) {
+  for (const auto& match : integration->edge_matches[0]) {
     std::printf("  S1.%s  ~  S2.%s   (score %.2f)\n",
                 example.s1.column(match.left_column).name().c_str(),
                 example.s2.column(match.right_column).name().c_str(),
@@ -42,7 +46,7 @@ int main() {
               integration->mapping.ToString().c_str());
 
   std::printf("=== Entity resolution ===\n");
-  for (const auto& [l, r] : integration->matching.matched) {
+  for (const auto& [l, r] : integration->matchings[0].matched) {
     std::printf("  S1 row %zu  ==  S2 row %zu   (%s)\n", l, r,
                 example.s1.column(1).GetValue(l).str().c_str());
   }
@@ -58,7 +62,7 @@ int main() {
   std::printf("\nMaterialized target (matrix form):\n%s\n",
               md.MaterializeTargetMatrix().ToString().c_str());
 
-  core::Plan plan = system.PlanFor(*integration);
+  core::Plan plan = system.Explain(*integration);
   std::printf("=== Optimizer ===\n  %s\n\n", plan.explanation.c_str());
 
   core::TrainRequest request;
@@ -66,17 +70,29 @@ int main() {
   request.label_column = "m";
   request.gd.iterations = 500;
   request.gd.learning_rate = 0.0001;  // features are unnormalized (age, HR, O2)
-  auto outcome = system.Train(*integration, request, "mortality-model");
-  AMALUR_CHECK(outcome.ok()) << outcome.status();
+  auto model = system.Train(*integration, request, "mortality-model");
+  AMALUR_CHECK(model.ok()) << model.status();
 
   std::printf("=== Trained mortality model (%s) ===\n",
-              core::ExecutionStrategyToString(outcome->strategy_used));
+              core::ExecutionStrategyToString(model->outcome().strategy_used));
   std::printf("  final log-loss: %.4f   (started at %.4f)\n",
-              outcome->loss_history.back(), outcome->loss_history.front());
+              model->outcome().loss_history.back(),
+              model->outcome().loss_history.front());
   std::printf("  weights (a, hr, o): ");
-  for (size_t j = 0; j < outcome->weights.rows(); ++j) {
-    std::printf("%+.4f ", outcome->weights.At(j, 0));
+  for (size_t j = 0; j < model->weights().rows(); ++j) {
+    std::printf("%+.4f ", model->weights().At(j, 0));
   }
-  std::printf("\n\nModel registered in the catalog as 'mortality-model'.\n");
+
+  // Serve the model on relational data: score the materialized target.
+  rel::Table target = rel::Table::FromMatrix(
+      "target", md.MaterializeTargetMatrix(), md.target_schema().Names());
+  auto report = model->Evaluate(target);
+  AMALUR_CHECK(report.ok()) << report.status();
+  std::printf("\n\n=== In-sample evaluation ===\n");
+  std::printf("  rows %zu, accuracy %.2f, log-loss %.4f\n", report->rows,
+              report->accuracy, report->log_loss);
+  std::printf("\nModel registered as 'mortality-model'; integration "
+              "registered as 'er-pulmonary' (%zu in catalog).\n",
+              system.catalog()->IntegrationNames().size());
   return 0;
 }

@@ -1,19 +1,17 @@
 // Multi-silo star schema: a fact table (insurance claims) joined to three
-// dimension silos (patients, providers, regions). Shows the n-source
-// generalization of the paper's two-table examples: one indicator/mapping/
-// redundancy triple per silo, factorized training across all four at once,
-// and the growing advantage over materialization as dimensions widen.
+// dimension silos (patients, providers, regions) — the n-source
+// generalization of the paper's two-table examples, driven entirely through
+// the system facade: register the silos, describe the scenario with an
+// IntegrationSpec, and let Amalur discover the join keys, synthesize the
+// target schema and derive one indicator/mapping/redundancy triple per
+// silo. Training is forced onto both backends to show the growing
+// factorization advantage as dimensions widen.
 
 #include <cstdio>
 
 #include "common/rng.h"
-#include "common/stopwatch.h"
-#include "cost/amalur_cost_model.h"
-#include "factorized/factorized_table.h"
-#include "metadata/di_metadata.h"
-#include "ml/linear_models.h"
-#include "ml/training_matrix.h"
-#include "relational/join.h"
+#include "core/amalur.h"
+#include "relational/table.h"
 
 namespace {
 
@@ -68,89 +66,69 @@ int main() {
               claims.NumRows(), patients.NumRows(), providers.NumRows(),
               regions.NumRows());
 
-  // ---- Schema mapping: target = cost + amount + all dimension features.
-  std::vector<std::string> target_names{"cost", "amount"};
-  std::vector<integration::ColumnCorrespondence> fact_corr{
-      {"cost", "cost"}, {"amount", "amount"}};
-  auto add_dimension_corr = [&target_names](const rel::Table& dim) {
-    std::vector<integration::ColumnCorrespondence> corr;
-    for (size_t j = 1; j < dim.NumColumns(); ++j) {  // skip the key
-      corr.push_back({dim.column(j).name(), dim.column(j).name()});
-      target_names.push_back(dim.column(j).name());
-    }
-    return corr;
-  };
-  auto patients_corr = add_dimension_corr(patients);
-  auto providers_corr = add_dimension_corr(providers);
-  auto regions_corr = add_dimension_corr(regions);
+  // ---- Register the silos and describe the star declaratively. The facade
+  // discovers the *_id join keys by schema matching, keeps them out of the
+  // feature space, and derives the per-silo metadata triples.
+  core::Amalur system;
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource({"claims", claims,
+                                                    "claims-dept", false}));
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource({"patients", patients,
+                                                    "patient-registry", false}));
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource({"providers", providers,
+                                                    "provider-registry", false}));
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource({"regions", regions,
+                                                    "geo-service", false}));
 
-  auto mapping = integration::SchemaMapping::Create(
-      rel::JoinKind::kLeftJoin,
-      {integration::SchemaMapping::SourceSpec{"claims", claims.schema(),
-                                              fact_corr},
-       integration::SchemaMapping::SourceSpec{"patients", patients.schema(),
-                                              patients_corr},
-       integration::SchemaMapping::SourceSpec{"providers", providers.schema(),
-                                              providers_corr},
-       integration::SchemaMapping::SourceSpec{"regions", regions.schema(),
-                                              regions_corr}},
-      rel::Schema::AllDouble(target_names),
-      {{0, "patient_id", 1, "patient_id"},
-       {0, "provider_id", 2, "provider_id"},
-       {0, "region_id", 3, "region_id"}});
-  AMALUR_CHECK(mapping.ok()) << mapping.status();
+  core::IntegrationSpec spec;
+  spec.name = "claims-star";
+  spec.sources = {"claims", "patients", "providers", "regions"};
+  spec.relationships = {rel::JoinKind::kLeftJoin};
+  auto integration = system.Integrate(spec);
+  AMALUR_CHECK(integration.ok()) << integration.status();
 
-  // ---- Row matchings (key equality) and the star metadata.
-  std::vector<rel::RowMatching> matchings;
-  for (const auto& [dim, key] :
-       std::vector<std::pair<const rel::Table*, std::string>>{
-           {&patients, "patient_id"},
-           {&providers, "provider_id"},
-           {&regions, "region_id"}}) {
-    auto matching = rel::MatchRowsOnKeys(claims, *dim, {key}, {key});
-    AMALUR_CHECK(matching.ok()) << matching.status();
-    matchings.push_back(std::move(matching).ValueOrDie());
+  const metadata::DiMetadata& metadata = integration->metadata;
+  std::printf("Target: %zu x %zu; per-silo tuple ratios:",
+              metadata.target_rows(), metadata.target_cols());
+  for (size_t k = 1; k < metadata.num_sources(); ++k) {
+    std::printf(" %s=%.0f", metadata.source(k).name.c_str(),
+                metadata.TupleRatio(k));
   }
-  auto metadata = metadata::DiMetadata::DeriveStar(
-      *mapping, {&claims, &patients, &providers, &regions}, matchings);
-  AMALUR_CHECK(metadata.ok()) << metadata.status();
-  std::printf("Target: %zu x %zu; per-silo tuple ratios:", metadata->target_rows(),
-              metadata->target_cols());
-  for (size_t k = 1; k < metadata->num_sources(); ++k) {
-    std::printf(" %s=%.0f", metadata->source(k).name.c_str(),
-                metadata->TupleRatio(k));
-  }
-  std::printf("\n\n");
+  std::printf("\nOptimizer: %s\n\n", system.Explain(*integration).explanation.c_str());
 
-  // ---- Factorized vs materialized training over four silos.
-  ml::GradientDescentOptions gd;
-  gd.iterations = 25;
-  gd.learning_rate = 0.05;
+  // ---- Factorized vs materialized training over four silos, both forced
+  // through the same facade path.
+  core::TrainRequest request;
+  request.label_column = "cost";
+  request.gd.iterations = 25;
+  request.gd.learning_rate = 0.05;
 
-  Stopwatch watch;
-  auto table = std::make_shared<factorized::FactorizedTable>(*metadata);
-  ml::FactorizedFeatures features(table, 0);
-  la::DenseMatrix labels = features.Labels();
-  ml::LinearModel factorized_model =
-      ml::TrainLinearRegression(features, labels, gd);
-  const double factorized_seconds = watch.ElapsedSeconds();
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto factorized = system.Train(*integration, request, "claims-cost-model");
+  AMALUR_CHECK(factorized.ok()) << factorized.status();
 
-  watch.Restart();
-  la::DenseMatrix target = metadata->MaterializeTargetMatrix();
-  std::vector<size_t> feature_cols;
-  for (size_t j = 1; j < target.cols(); ++j) feature_cols.push_back(j);
-  ml::MaterializedMatrix dense(target.SelectColumns(feature_cols));
-  ml::LinearModel materialized_model =
-      ml::TrainLinearRegression(dense, labels, gd);
-  const double materialized_seconds = watch.ElapsedSeconds();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto materialized = system.Train(*integration, request);
+  AMALUR_CHECK(materialized.ok()) << materialized.status();
 
   std::printf("Factorized over 4 silos : %.3fs  (MSE %.4f)\n",
-              factorized_seconds, factorized_model.loss_history.back());
+              factorized->outcome().seconds,
+              factorized->outcome().loss_history.back());
   std::printf("Materialize then train  : %.3fs  (MSE %.4f)\n",
-              materialized_seconds, materialized_model.loss_history.back());
+              materialized->outcome().seconds,
+              materialized->outcome().loss_history.back());
   std::printf("Weight agreement        : %.2e\n",
-              factorized_model.weights.MaxAbsDiff(materialized_model.weights));
+              factorized->weights().MaxAbsDiff(materialized->weights()));
   std::printf("Speedup                 : %.2fx\n",
-              materialized_seconds / factorized_seconds);
+              materialized->outcome().seconds /
+                  factorized->outcome().seconds);
+
+  // ---- Serve the registered model on relational data.
+  rel::Table target = rel::Table::FromMatrix(
+      "claims-target", metadata.MaterializeTargetMatrix(),
+      metadata.target_schema().Names());
+  auto report = factorized->Evaluate(target);
+  AMALUR_CHECK(report.ok()) << report.status();
+  std::printf("In-sample evaluation    : MSE %.4f over %zu rows\n",
+              report->mse, report->rows);
   return 0;
 }

@@ -1,8 +1,12 @@
 #include "core/amalur.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/string_util.h"
+#include "ml/linear_models.h"
+#include "ml/metrics.h"
+#include "ml/training_matrix.h"
 
 namespace amalur {
 namespace core {
@@ -38,11 +42,88 @@ bool IsIdLikePair(const rel::Column& left, const rel::Column& right) {
   return id_name && (AllValuesDistinct(left) || AllValuesDistinct(right));
 }
 
+/// Claims a unique target-column name (collisions get a numeric suffix).
+class NameClaimer {
+ public:
+  std::string Claim(const std::string& name) {
+    std::string out = name;
+    int suffix = 2;
+    while (used_.count(out) > 0) out = name + "_" + std::to_string(suffix++);
+    used_.insert(out);
+    return out;
+  }
+
+ private:
+  std::set<std::string> used_;
+};
+
+/// Normalizes a spec: validates shape, resolves `star_base` to position 0
+/// and broadcasts a single relationship over all edges.
+Result<IntegrationSpec> NormalizeSpec(const IntegrationSpec& spec) {
+  IntegrationSpec out = spec;
+  if (out.sources.size() < 2) {
+    return Status::InvalidArgument("an integration needs >= 2 sources, got ",
+                                   out.sources.size());
+  }
+  std::set<std::string> unique(out.sources.begin(), out.sources.end());
+  if (unique.size() != out.sources.size()) {
+    return Status::InvalidArgument("duplicate source in integration spec");
+  }
+  if (!out.star_base.empty()) {
+    auto it = std::find(out.sources.begin(), out.sources.end(), out.star_base);
+    if (it == out.sources.end()) {
+      return Status::InvalidArgument("star base '", out.star_base,
+                                     "' is not among the spec's sources");
+    }
+    std::rotate(out.sources.begin(), it, it + 1);
+  }
+  const size_t edges = out.sources.size() - 1;
+  if (out.relationships.size() == 1) {
+    out.relationships.assign(edges, out.relationships[0]);
+  } else if (out.relationships.size() != edges) {
+    return Status::InvalidArgument("expected one relationship per edge (",
+                                   edges, " edges) or a single broadcast "
+                                   "relationship, got ",
+                                   out.relationships.size());
+  }
+  if (out.sources.size() > 2) {
+    for (rel::JoinKind kind : out.relationships) {
+      if (kind != rel::JoinKind::kLeftJoin) {
+        return Status::InvalidArgument(
+            "star integrations (>= 3 sources) require the left-join "
+            "relationship on every edge, got ", rel::JoinKindToString(kind));
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
                                             const std::string& other_name,
                                             rel::JoinKind kind) {
+  IntegrationSpec spec;
+  spec.sources = {base_name, other_name};
+  spec.relationships = {kind};
+  return Integrate(spec);
+}
+
+Result<IntegrationHandle> Amalur::Integrate(const IntegrationSpec& spec) {
+  AMALUR_ASSIGN_OR_RETURN(IntegrationSpec normalized, NormalizeSpec(spec));
+  Result<IntegrationHandle> handle =
+      normalized.sources.size() == 2 ? IntegratePair(normalized)
+                                     : IntegrateStar(normalized);
+  if (handle.ok() && !normalized.name.empty()) {
+    AMALUR_RETURN_NOT_OK(catalog_.RegisterIntegration(*handle));
+  }
+  return handle;
+}
+
+Result<IntegrationHandle> Amalur::IntegratePair(const IntegrationSpec& spec) {
+  const std::string& base_name = spec.sources[0];
+  const std::string& other_name = spec.sources[1];
+  const rel::JoinKind kind = spec.relationships[0];
   AMALUR_ASSIGN_OR_RETURN(const SourceEntry* base_entry,
                           catalog_.GetSource(base_name));
   AMALUR_ASSIGN_OR_RETURN(const SourceEntry* other_entry,
@@ -51,15 +132,16 @@ Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
   const rel::Table& other = other_entry->table;
 
   IntegrationHandle handle;
-  handle.base_name = base_name;
-  handle.other_name = other_name;
+  handle.name = spec.name;
+  handle.source_names = {base_name, other_name};
   handle.privacy_constrained =
       base_entry->privacy_sensitive || other_entry->privacy_sensitive;
 
   // ---- 1. Schema matching (cached in the catalog).
-  handle.column_matches = integration::MatchSchemas(base, other, options_.matcher);
-  catalog_.StoreColumnMatches(base_name, other_name, handle.column_matches);
-  if (kind != rel::JoinKind::kUnion && handle.column_matches.empty()) {
+  std::vector<integration::ColumnMatch> column_matches =
+      integration::MatchSchemas(base, other, options_.matcher);
+  catalog_.StoreColumnMatches(base_name, other_name, column_matches);
+  if (kind != rel::JoinKind::kUnion && column_matches.empty()) {
     return Status::FailedPrecondition(
         "no column matches between '", base_name, "' and '", other_name,
         "'; a join scenario needs shared columns");
@@ -71,44 +153,35 @@ Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
   // `n`). Name collisions between private columns get a suffix.
   std::vector<int64_t> base_match_of(base.NumColumns(), -1);
   std::vector<int64_t> other_match_of(other.NumColumns(), -1);
-  for (size_t i = 0; i < handle.column_matches.size(); ++i) {
-    base_match_of[handle.column_matches[i].left_column] =
-        static_cast<int64_t>(i);
-    other_match_of[handle.column_matches[i].right_column] =
-        static_cast<int64_t>(i);
+  for (size_t i = 0; i < column_matches.size(); ++i) {
+    base_match_of[column_matches[i].left_column] = static_cast<int64_t>(i);
+    other_match_of[column_matches[i].right_column] = static_cast<int64_t>(i);
   }
 
   std::vector<rel::Field> target_fields;
-  std::set<std::string> used_names;
+  NameClaimer names;
   std::vector<integration::ColumnCorrespondence> base_corr;
   std::vector<integration::ColumnCorrespondence> other_corr;
-  auto claim = [&used_names](const std::string& name) {
-    std::string out = name;
-    int suffix = 2;
-    while (used_names.count(out) > 0) out = name + "_" + std::to_string(suffix++);
-    used_names.insert(out);
-    return out;
-  };
 
-  std::vector<uint8_t> join_only_match(handle.column_matches.size(), 0);
+  std::vector<uint8_t> join_only_match(column_matches.size(), 0);
   for (size_t j = 0; j < base.NumColumns(); ++j) {
     const rel::Column& column = base.column(j);
     if (!IsNumeric(column)) continue;
     if (base_match_of[j] >= 0) {
       const auto& match =
-          handle.column_matches[static_cast<size_t>(base_match_of[j])];
+          column_matches[static_cast<size_t>(base_match_of[j])];
       if (IsIdLikePair(column, other.column(match.right_column))) {
         // Surrogate key: join evidence only.
         join_only_match[static_cast<size_t>(base_match_of[j])] = 1;
         continue;
       }
     }
-    const std::string target_name = claim(column.name());
+    const std::string target_name = names.Claim(column.name());
     target_fields.push_back({target_name, column.type(), true});
     base_corr.push_back({column.name(), target_name});
     if (base_match_of[j] >= 0) {
       const auto& match =
-          handle.column_matches[static_cast<size_t>(base_match_of[j])];
+          column_matches[static_cast<size_t>(base_match_of[j])];
       other_corr.push_back({other.column(match.right_column).name(),
                             target_name});
     }
@@ -116,7 +189,7 @@ Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
   for (size_t j = 0; j < other.NumColumns(); ++j) {
     const rel::Column& column = other.column(j);
     if (!IsNumeric(column) || other_match_of[j] >= 0) continue;
-    const std::string target_name = claim(column.name());
+    const std::string target_name = names.Claim(column.name());
     target_fields.push_back({target_name, column.type(), true});
     other_corr.push_back({column.name(), target_name});
   }
@@ -127,8 +200,8 @@ Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
   // Matched string columns and surrogate keys become explicit source
   // matches (join variables outside the target schema).
   std::vector<integration::SourceColumnMatch> source_matches;
-  for (size_t i = 0; i < handle.column_matches.size(); ++i) {
-    const integration::ColumnMatch& match = handle.column_matches[i];
+  for (size_t i = 0; i < column_matches.size(); ++i) {
+    const integration::ColumnMatch& match = column_matches[i];
     if (!IsNumeric(base.column(match.left_column)) || join_only_match[i]) {
       source_matches.push_back({0, base.column(match.left_column).name(), 1,
                                 other.column(match.right_column).name()});
@@ -149,11 +222,12 @@ Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
   // exact key matching applies (and naturally expresses join fan-out, which
   // 1:1 entity resolution cannot); otherwise fall back to fuzzy entity
   // resolution over the matched columns.
+  rel::RowMatching matching;
   if (kind != rel::JoinKind::kUnion) {
     std::vector<std::string> base_keys;
     std::vector<std::string> other_keys;
-    for (size_t i = 0; i < handle.column_matches.size(); ++i) {
-      const integration::ColumnMatch& match = handle.column_matches[i];
+    for (size_t i = 0; i < column_matches.size(); ++i) {
+      const integration::ColumnMatch& match = column_matches[i];
       if (join_only_match[i] && IsNumeric(base.column(match.left_column))) {
         base_keys.push_back(base.column(match.left_column).name());
         other_keys.push_back(other.column(match.right_column).name());
@@ -161,37 +235,216 @@ Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
     }
     if (!base_keys.empty()) {
       AMALUR_ASSIGN_OR_RETURN(
-          handle.matching,
-          rel::MatchRowsOnKeys(base, other, base_keys, other_keys));
+          matching, rel::MatchRowsOnKeys(base, other, base_keys, other_keys));
     } else {
       AMALUR_ASSIGN_OR_RETURN(
-          handle.matching,
-          integration::ResolveEntities(base, other, handle.column_matches,
-                                       options_.resolver));
+          matching, integration::ResolveEntities(base, other, column_matches,
+                                                 options_.resolver));
     }
-    catalog_.StoreRowMatching(base_name, other_name, handle.matching);
+    catalog_.StoreRowMatching(base_name, other_name, matching);
   }
+  handle.edge_matches.push_back(std::move(column_matches));
+  handle.matchings.push_back(std::move(matching));
 
   // ---- 4. The three metadata matrices.
   AMALUR_ASSIGN_OR_RETURN(
       handle.metadata,
       metadata::DiMetadata::Derive(handle.mapping, {&base, &other},
-                                   handle.matching));
+                                   handle.matchings[0]));
   return handle;
 }
 
-Plan Amalur::PlanFor(const IntegrationHandle& integration) const {
+Result<IntegrationHandle> Amalur::IntegrateStar(const IntegrationSpec& spec) {
+  const size_t n_sources = spec.sources.size();
+  std::vector<const SourceEntry*> entries(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    AMALUR_ASSIGN_OR_RETURN(entries[k], catalog_.GetSource(spec.sources[k]));
+  }
+  const rel::Table& base = entries[0]->table;
+
+  IntegrationHandle handle;
+  handle.name = spec.name;
+  handle.source_names = spec.sources;
+  for (const SourceEntry* entry : entries) {
+    handle.privacy_constrained |= entry->privacy_sensitive;
+  }
+
+  // ---- 1. Per-edge schema matching and join-key discovery. An edge's
+  // matches split into surrogate keys / string join evidence (row-matching
+  // material) and merged feature columns.
+  struct EdgePlan {
+    std::vector<std::string> base_keys;   // numeric surrogate keys
+    std::vector<std::string> dim_keys;
+    /// dim column index -> matched base column index (merged features).
+    std::map<size_t, size_t> merged;
+    std::vector<integration::SourceColumnMatch> source_matches;
+  };
+  std::vector<EdgePlan> edges(n_sources - 1);
+  std::set<size_t> base_key_columns;  // excluded from the target schema
+  for (size_t e = 0; e + 1 < n_sources; ++e) {
+    const rel::Table& dim = entries[e + 1]->table;
+    std::vector<integration::ColumnMatch> matches =
+        integration::MatchSchemas(base, dim, options_.matcher);
+    catalog_.StoreColumnMatches(spec.sources[0], spec.sources[e + 1], matches);
+    if (matches.empty()) {
+      return Status::FailedPrecondition(
+          "no column matches between base '", spec.sources[0],
+          "' and dimension '", spec.sources[e + 1],
+          "'; a star edge needs a shared key column");
+    }
+    for (const integration::ColumnMatch& match : matches) {
+      const rel::Column& left = base.column(match.left_column);
+      const rel::Column& right = dim.column(match.right_column);
+      if (!IsNumeric(left)) {
+        edges[e].source_matches.push_back(
+            {0, left.name(), e + 1, right.name()});
+      } else if (IsIdLikePair(left, right)) {
+        edges[e].base_keys.push_back(left.name());
+        edges[e].dim_keys.push_back(right.name());
+        base_key_columns.insert(match.left_column);
+        edges[e].source_matches.push_back(
+            {0, left.name(), e + 1, right.name()});
+      } else {
+        edges[e].merged[match.right_column] = match.left_column;
+      }
+    }
+    handle.edge_matches.push_back(std::move(matches));
+  }
+
+  // ---- 2. Target-schema synthesis: the base's non-key numeric columns
+  // first, then each dimension's unmatched numeric features in source order.
+  // Dimension columns matched to a base feature merge into its target
+  // column; keys of ANY edge never become features.
+  NameClaimer names;
+  std::vector<rel::Field> target_fields;
+  std::vector<std::vector<integration::ColumnCorrespondence>> corr(n_sources);
+  std::vector<std::string> base_target_names(base.NumColumns());
+  for (size_t j = 0; j < base.NumColumns(); ++j) {
+    const rel::Column& column = base.column(j);
+    if (!IsNumeric(column) || base_key_columns.count(j) > 0) continue;
+    const std::string target_name = names.Claim(column.name());
+    target_fields.push_back({target_name, column.type(), true});
+    corr[0].push_back({column.name(), target_name});
+    base_target_names[j] = target_name;
+  }
+  for (size_t e = 0; e + 1 < n_sources; ++e) {
+    const rel::Table& dim = entries[e + 1]->table;
+    std::set<std::string> edge_dim_keys(edges[e].dim_keys.begin(),
+                                        edges[e].dim_keys.end());
+    for (size_t j = 0; j < dim.NumColumns(); ++j) {
+      const rel::Column& column = dim.column(j);
+      if (!IsNumeric(column) || edge_dim_keys.count(column.name()) > 0) {
+        continue;
+      }
+      auto merged = edges[e].merged.find(j);
+      if (merged != edges[e].merged.end()) {
+        // Overlapping feature: reuse the base column's target name. When the
+        // matched base column is another edge's join key (no target name),
+        // fall through and keep the dimension column as a feature of its
+        // own rather than silently dropping it.
+        const std::string& merged_target = base_target_names[merged->second];
+        if (!merged_target.empty()) {
+          corr[e + 1].push_back({column.name(), merged_target});
+          continue;
+        }
+      }
+      const std::string target_name = names.Claim(column.name());
+      target_fields.push_back({target_name, column.type(), true});
+      corr[e + 1].push_back({column.name(), target_name});
+    }
+  }
+  if (target_fields.empty()) {
+    return Status::FailedPrecondition("no numeric columns to integrate");
+  }
+
+  std::vector<integration::SchemaMapping::SourceSpec> source_specs;
+  std::vector<integration::SourceColumnMatch> source_matches;
+  for (size_t k = 0; k < n_sources; ++k) {
+    source_specs.push_back({spec.sources[k], entries[k]->table.schema(),
+                            std::move(corr[k])});
+    if (k > 0) {
+      source_matches.insert(source_matches.end(),
+                            edges[k - 1].source_matches.begin(),
+                            edges[k - 1].source_matches.end());
+    }
+  }
+  AMALUR_ASSIGN_OR_RETURN(
+      handle.mapping,
+      integration::SchemaMapping::Create(
+          rel::JoinKind::kLeftJoin, std::move(source_specs),
+          rel::Schema(std::move(target_fields)), std::move(source_matches)));
+
+  // ---- 3. Row matching per edge: exact keys when a surrogate key was
+  // discovered, fuzzy entity resolution otherwise. Star derivation requires
+  // each matching to be functional (one dimension row per base row); a
+  // duplicate-keyed dimension surfaces as kFailedPrecondition below.
+  for (size_t e = 0; e + 1 < n_sources; ++e) {
+    const rel::Table& dim = entries[e + 1]->table;
+    rel::RowMatching matching;
+    if (!edges[e].base_keys.empty()) {
+      AMALUR_ASSIGN_OR_RETURN(
+          matching, rel::MatchRowsOnKeys(base, dim, edges[e].base_keys,
+                                         edges[e].dim_keys));
+    } else {
+      AMALUR_ASSIGN_OR_RETURN(
+          matching,
+          integration::ResolveEntities(base, dim, handle.edge_matches[e],
+                                       options_.resolver));
+    }
+    catalog_.StoreRowMatching(spec.sources[0], spec.sources[e + 1], matching);
+    handle.matchings.push_back(std::move(matching));
+  }
+
+  // ---- 4. One indicator/mapping/redundancy triple per silo.
+  std::vector<const rel::Table*> tables;
+  tables.reserve(n_sources);
+  for (const SourceEntry* entry : entries) tables.push_back(&entry->table);
+  AMALUR_ASSIGN_OR_RETURN(
+      handle.metadata,
+      metadata::DiMetadata::DeriveStar(handle.mapping, tables,
+                                       handle.matchings));
+  return handle;
+}
+
+Plan Amalur::Explain(const IntegrationHandle& integration) const {
   return Optimizer(options_.cost)
       .Choose(integration.metadata, integration.privacy_constrained);
 }
 
-Result<TrainOutcome> Amalur::Train(const IntegrationHandle& integration,
-                                   const TrainRequest& request,
-                                   const std::string& model_name) {
-  const Plan plan = PlanFor(integration);
+Result<ModelHandle> Amalur::Train(const IntegrationHandle& integration,
+                                  const TrainRequest& request,
+                                  const std::string& model_name) {
+  Plan plan = Explain(integration);
+  if (request.force_strategy.has_value()) {
+    if (integration.privacy_constrained &&
+        *request.force_strategy != ExecutionStrategy::kFederate) {
+      return Status::FailedPrecondition(
+          "cannot force the ", ExecutionStrategyToString(*request.force_strategy),
+          " strategy: the integration is privacy-constrained and data may "
+          "not leave the silos");
+    }
+    plan.explanation =
+        std::string("forced to ") +
+        ExecutionStrategyToString(*request.force_strategy) +
+        " by the request (optimizer chose " +
+        ExecutionStrategyToString(plan.strategy) + ")";
+    plan.strategy = *request.force_strategy;
+  }
   Executor executor;
   AMALUR_ASSIGN_OR_RETURN(TrainOutcome outcome,
                           executor.Run(integration.metadata, plan, request));
+
+  ModelHandle model;
+  model.name_ = model_name;
+  model.task_ = request.task;
+  model.label_column_ = request.label_column;
+  for (const std::string& name : integration.metadata.target_schema().Names()) {
+    if (name != request.label_column) model.feature_names_.push_back(name);
+  }
+  model.source_names_ = integration.source_names;
+  model.plan_ = plan;
+  model.outcome_ = std::move(outcome);
+
   if (!model_name.empty()) {
     ModelEntry entry;
     entry.name = model_name;
@@ -200,13 +453,47 @@ Result<TrainOutcome> Amalur::Train(const IntegrationHandle& integration,
         {"iterations", static_cast<double>(request.gd.iterations)},
         {"learning_rate", request.gd.learning_rate},
         {"l2", request.gd.l2}};
-    entry.metric =
-        outcome.loss_history.empty() ? 0.0 : outcome.loss_history.back();
-    entry.training_sources = {integration.base_name, integration.other_name};
-    entry.strategy = ExecutionStrategyToString(outcome.strategy_used);
+    entry.metric = model.outcome_.loss_history.empty()
+                       ? 0.0
+                       : model.outcome_.loss_history.back();
+    entry.training_sources = integration.source_names;
+    entry.strategy = ExecutionStrategyToString(model.outcome_.strategy_used);
     AMALUR_RETURN_NOT_OK(catalog_.RegisterModel(std::move(entry)));
   }
-  return outcome;
+  return model;
+}
+
+Result<la::DenseMatrix> ModelHandle::Predict(const rel::Table& data) const {
+  std::vector<size_t> indices;
+  indices.reserve(feature_names_.size());
+  for (const std::string& name : feature_names_) {
+    AMALUR_ASSIGN_OR_RETURN(size_t index, data.ColumnIndex(name));
+    indices.push_back(index);
+  }
+  AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix features, data.ToMatrix(indices));
+  const ml::MaterializedMatrix matrix(std::move(features));
+  if (task_ == TrainingTask::kLogisticRegression) {
+    return ml::PredictLogistic(matrix, outcome_.weights);
+  }
+  return ml::PredictLinear(matrix, outcome_.weights);
+}
+
+Result<EvaluationReport> ModelHandle::Evaluate(const rel::Table& data) const {
+  AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix predictions, Predict(data));
+  AMALUR_ASSIGN_OR_RETURN(size_t label_index, data.ColumnIndex(label_column_));
+  AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix labels,
+                          data.ToMatrix({label_index}));
+  EvaluationReport report;
+  report.rows = data.NumRows();
+  report.mse = ml::MeanSquaredError(predictions, labels);
+  if (task_ == TrainingTask::kLogisticRegression) {
+    report.log_loss = ml::LogLoss(predictions, labels);
+    report.accuracy = ml::BinaryAccuracy(predictions, labels);
+    report.primary = report.accuracy;
+  } else {
+    report.primary = report.mse;
+  }
+  return report;
 }
 
 }  // namespace core

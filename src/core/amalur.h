@@ -15,20 +15,38 @@
 
 /// \file amalur.h
 /// The Amalur system facade — the end-to-end pipeline of Figure 3. Users
-/// register silo tables, ask the system to *integrate* a pair (automatic
-/// schema matching → target-schema synthesis → tgd generation → entity
-/// resolution → the three metadata matrices) and then to *train* a model
-/// over the integration; the optimizer picks factorized, materialized or
-/// federated execution.
+/// register silo tables, describe *what* to integrate with an
+/// `IntegrationSpec` (two sources or an n-ary star), and the system runs
+/// automatic schema matching → target-schema synthesis → tgd generation →
+/// row matching → metadata derivation. Training returns a `ModelHandle`
+/// that serves predictions and evaluations on new relational data; the
+/// optimizer's choice of factorized, materialized or federated execution is
+/// inspectable through `Explain`.
 ///
 ///     core::Amalur amalur;
 ///     amalur.catalog()->RegisterSource({"S1", s1, "hospital-er", false});
 ///     amalur.catalog()->RegisterSource({"S2", s2, "pulmonary", false});
-///     auto integration = amalur.Integrate("S1", "S2",
-///                                         rel::JoinKind::kFullOuterJoin);
+///
+///     core::IntegrationSpec spec;
+///     spec.name = "er-pulmonary";        // registered in the catalog
+///     spec.sources = {"S1", "S2"};
+///     spec.relationships = {rel::JoinKind::kFullOuterJoin};
+///     auto integration = amalur.Integrate(spec);
+///
 ///     core::TrainRequest request;
+///     request.task = core::TrainingTask::kLogisticRegression;
 ///     request.label_column = "m";
-///     auto outcome = amalur.Train(*integration, request, "mortality-model");
+///     auto model = amalur.Train(*integration, request, "mortality-model");
+///     auto report = model->Evaluate(holdout_table);
+///     core::Plan plan = amalur.Explain(*model);   // strategy + cost estimate
+///
+/// Handle lifetime: `IntegrationHandle` and `ModelHandle` are self-contained
+/// value objects — they copy everything they need (derived metadata,
+/// weights), so they remain valid across catalog mutations and even after
+/// the `Amalur` instance is destroyed. Handles stored in the catalog under a
+/// name (`IntegrationSpec::name`, the `model_name` argument of `Train`) are
+/// copies too; `Catalog::GetIntegration`/`GetModel` pointers stay valid
+/// until the catalog itself is destroyed.
 
 namespace amalur {
 namespace core {
@@ -40,18 +58,94 @@ struct AmalurOptions {
   cost::AmalurCostModelOptions cost;
 };
 
-/// A completed integration: everything derived between two registered
-/// sources. Handles are self-contained (they copy the derived metadata) and
-/// can outlive catalog mutations.
-struct IntegrationHandle {
-  std::string base_name;
-  std::string other_name;
-  std::vector<integration::ColumnMatch> column_matches;
-  integration::SchemaMapping mapping;
-  rel::RowMatching matching;
-  metadata::DiMetadata metadata;
-  /// True when either source forbids data movement.
-  bool privacy_constrained = false;
+/// Declarative description of one integration scenario: which registered
+/// sources participate and how their rows relate (Table I).
+struct IntegrationSpec {
+  /// Optional catalog name. Non-empty → the resulting handle is registered
+  /// via `Catalog::RegisterIntegration` (unique names, `kAlreadyExists` on
+  /// re-use) and can be fetched later with `Catalog::GetIntegration`.
+  std::string name;
+
+  /// Ordered names of >= 2 registered sources. The first entry is the base
+  /// table (the running example's S1; the fact table of a star) unless
+  /// `star_base` overrides it. Two sources run the pairwise pipeline; three
+  /// or more run the star derivation (base left-joined to each dimension).
+  std::vector<std::string> sources;
+
+  /// Dataset relationship per edge (base, sources[i+1]): either exactly one
+  /// entry, applied to every edge, or sources.size()-1 entries. Star
+  /// scenarios (>= 3 sources) require `kLeftJoin` on every edge — the
+  /// base-retained relationship `DiMetadata::DeriveStar` implements.
+  std::vector<rel::JoinKind> relationships = {rel::JoinKind::kInnerJoin};
+
+  /// Optional: name of the source to use as the star base / pairwise base.
+  /// Must be an element of `sources`; empty means `sources[0]`.
+  std::string star_base;
+};
+
+/// Per-dataset evaluation metrics of a trained model (task-dependent:
+/// regression fills `mse`, classification fills `log_loss`/`accuracy`).
+struct EvaluationReport {
+  size_t rows = 0;
+  /// Mean squared error of predictions vs. labels (regression tasks).
+  double mse = 0.0;
+  /// Binary log-loss of predicted probabilities (classification tasks).
+  double log_loss = 0.0;
+  /// Fraction of correct 0/1 predictions at threshold 0.5 (classification).
+  double accuracy = 0.0;
+  /// The task's headline metric: `mse` for regression, `accuracy` for
+  /// classification.
+  double primary = 0.0;
+};
+
+/// A trained model returned by `Amalur::Train`: the executor's outcome plus
+/// everything needed to serve the model on new relational data. Handles are
+/// self-contained values (weights and schema are copied); registering under
+/// a model name additionally records a `ModelEntry` in the catalog.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+
+  /// Catalog registration name (empty for unregistered models).
+  const std::string& name() const { return name_; }
+  TrainingTask task() const { return task_; }
+  /// Target-schema column the model predicts.
+  const std::string& label_column() const { return label_column_; }
+  /// Feature columns in weight order (target schema minus the label).
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  /// Sources of the integration the model was trained over.
+  const std::vector<std::string>& source_names() const {
+    return source_names_;
+  }
+  /// The optimizer plan that was executed (including the cost estimate that
+  /// justified it; see also `Amalur::Explain`).
+  const Plan& plan() const { return plan_; }
+  /// Raw training outcome: weights, loss history, timings, bytes moved.
+  const TrainOutcome& outcome() const { return outcome_; }
+  /// Final weights in `feature_names()` order (cols x 1).
+  const la::DenseMatrix& weights() const { return outcome_.weights; }
+
+  /// Scores `data` with the trained weights: y-hat = F w for regression,
+  /// sigma(F w) for classification (rows x 1). Every feature column must be
+  /// present in `data` by name; the label column is not required.
+  Result<la::DenseMatrix> Predict(const rel::Table& data) const;
+
+  /// Predicts over `data` and scores against its label column (which must
+  /// be present under `label_column()`).
+  Result<EvaluationReport> Evaluate(const rel::Table& data) const;
+
+ private:
+  friend class Amalur;
+
+  std::string name_;
+  TrainingTask task_ = TrainingTask::kLinearRegression;
+  std::string label_column_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> source_names_;
+  Plan plan_;
+  TrainOutcome outcome_;
 };
 
 /// The system facade.
@@ -62,27 +156,52 @@ class Amalur {
   Catalog* catalog() { return &catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
-  /// Runs the automatic integration pipeline between two registered sources:
-  /// schema matching, target-schema synthesis (matched numeric columns merge
-  /// into one target column; source-private numeric columns carry over;
-  /// string columns serve as join evidence only), tgd generation for `kind`,
-  /// entity resolution, and metadata derivation. Results are cached in the
-  /// catalog and returned as a self-contained handle.
+  /// Runs the automatic integration pipeline over the spec's sources.
+  ///
+  /// Two sources: schema matching, target-schema synthesis (matched numeric
+  /// columns merge into one target column; source-private numeric columns
+  /// carry over; string columns and surrogate keys serve as join evidence
+  /// only), tgd generation for the edge's relationship, row matching
+  /// (exact-key when a surrogate key was discovered, fuzzy entity resolution
+  /// otherwise), and two-source metadata derivation.
+  ///
+  /// Three or more sources (a star): per-dimension schema matching against
+  /// the base discovers the join keys, the target schema collects the
+  /// base's and every dimension's non-key numeric columns, and
+  /// `DiMetadata::DeriveStar` produces one indicator/mapping/redundancy
+  /// triple per silo. Every edge must be `kLeftJoin`.
+  ///
+  /// Edge artifacts (column matches, row matchings) are cached in the
+  /// catalog per source pair; when `spec.name` is non-empty the whole
+  /// handle is registered as a first-class catalog object.
+  Result<IntegrationHandle> Integrate(const IntegrationSpec& spec);
+
+  /// Two-source convenience overload; delegates to the spec form.
   Result<IntegrationHandle> Integrate(const std::string& base_name,
                                       const std::string& other_name,
                                       rel::JoinKind kind);
 
-  /// Plans and executes a training run over an integration. When
-  /// `model_name` is non-empty the trained model is registered in the
-  /// catalog with its final loss as the metric.
-  Result<TrainOutcome> Train(const IntegrationHandle& integration,
-                             const TrainRequest& request,
-                             const std::string& model_name = "");
+  /// Plans and executes a training run over an integration. The optimizer
+  /// chooses the strategy unless `request.force_strategy` pins one
+  /// (privacy-constrained integrations cannot be forced onto data-moving
+  /// strategies). When `model_name` is non-empty the trained model is also
+  /// registered in the catalog with its final loss as the metric.
+  Result<ModelHandle> Train(const IntegrationHandle& integration,
+                            const TrainRequest& request,
+                            const std::string& model_name = "");
 
-  /// The optimizer's plan for an integration (exposed for inspection).
-  Plan PlanFor(const IntegrationHandle& integration) const;
+  /// The optimizer's plan for an integration: chosen strategy, the cost
+  /// estimate backing the decision, and a human-readable justification.
+  Plan Explain(const IntegrationHandle& integration) const;
+
+  /// The plan a trained model actually executed (including a forced
+  /// strategy, which is recorded in the plan's explanation).
+  const Plan& Explain(const ModelHandle& model) const { return model.plan(); }
 
  private:
+  Result<IntegrationHandle> IntegratePair(const IntegrationSpec& spec);
+  Result<IntegrationHandle> IntegrateStar(const IntegrationSpec& spec);
+
   AmalurOptions options_;
   Catalog catalog_;
 };

@@ -27,6 +27,35 @@ std::vector<std::string> Catalog::SourceNames() const {
   return names;
 }
 
+Status Catalog::RegisterIntegration(IntegrationHandle entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("empty integration name");
+  }
+  auto [it, inserted] = integrations_.try_emplace(entry.name, std::move(entry));
+  if (!inserted) return Status::AlreadyExists("integration '", it->first, "'");
+  return Status::OK();
+}
+
+Result<const IntegrationHandle*> Catalog::GetIntegration(
+    const std::string& name) const {
+  auto it = integrations_.find(name);
+  if (it == integrations_.end()) {
+    return Status::NotFound("integration '", name, "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasIntegration(const std::string& name) const {
+  return integrations_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::IntegrationNames() const {
+  std::vector<std::string> names;
+  names.reserve(integrations_.size());
+  for (const auto& [name, entry] : integrations_) names.push_back(name);
+  return names;
+}
+
 void Catalog::StoreColumnMatches(const std::string& left,
                                  const std::string& right,
                                  std::vector<integration::ColumnMatch> matches) {

@@ -6,16 +6,31 @@
 #include <vector>
 
 #include "common/status.h"
+#include "integration/schema_mapping.h"
 #include "integration/schema_matching.h"
+#include "metadata/di_metadata.h"
 #include "relational/join.h"
 #include "relational/table.h"
 
 /// \file catalog.h
 /// The hybrid metadata catalog of Figure 3: basic metadata of each source
 /// (schema, provenance, privacy constraints), DI metadata produced by
-/// matching/resolution runs, and model metadata of trained models. In this
-/// in-process reproduction the catalog also holds the data handles; in a
-/// deployed system those would be silo connections.
+/// matching/resolution/integration runs, and model metadata of trained
+/// models. In this in-process reproduction the catalog also holds the data
+/// handles; in a deployed system those would be silo connections.
+///
+/// Registration semantics are uniform across sources, integrations and
+/// models: names are unique, re-registering an existing name returns
+/// `kAlreadyExists` (never a silent overwrite), and the empty name is
+/// `kInvalidArgument`.
+///
+/// Lifetime rules for catalog lookups: `GetSource` / `GetIntegration` /
+/// `GetModel` return pointers into the catalog's own storage (node-stable
+/// maps). A returned pointer stays valid until the catalog is destroyed —
+/// registering further entries does not move existing ones — but callers
+/// that need a value to outlive the catalog must copy it. `IntegrationHandle`
+/// is designed for exactly that: it is self-contained (it owns the derived
+/// metadata), so a copied handle survives any catalog mutation.
 
 namespace amalur {
 namespace core {
@@ -29,6 +44,27 @@ struct SourceEntry {
   /// Privacy constraint: data may not leave the silo (forces federated
   /// execution, §II.C).
   bool privacy_sensitive = false;
+};
+
+/// A completed integration over n >= 2 registered sources: everything the
+/// automatic pipeline derived. Handles are self-contained (they copy the
+/// derived metadata) and can outlive catalog mutations; named handles are
+/// additionally stored in the catalog as first-class reusable objects.
+struct IntegrationHandle {
+  /// Catalog registration name; empty for ad-hoc (unregistered) handles.
+  std::string name;
+  /// Participating sources in order; element 0 is the base (fact) table.
+  std::vector<std::string> source_names;
+  /// Schema-matching output per edge: `edge_matches[i]` relates
+  /// `source_names[0]` to `source_names[i + 1]`.
+  std::vector<std::vector<integration::ColumnMatch>> edge_matches;
+  integration::SchemaMapping mapping;
+  /// Row matchings per edge, same indexing as `edge_matches` (entries are
+  /// empty for union scenarios, which match no rows).
+  std::vector<rel::RowMatching> matchings;
+  metadata::DiMetadata metadata;
+  /// True when any participating source forbids data movement.
+  bool privacy_constrained = false;
 };
 
 /// Metadata of a trained model (the model-zoo side of the catalog [24]).
@@ -47,11 +83,18 @@ struct ModelEntry {
 /// The catalog. Not thread-safe (single-orchestrator usage).
 class Catalog {
  public:
-  /// Registers a source; the name must be unique.
+  /// Registers a source; the name must be unique (`kAlreadyExists` otherwise).
   Status RegisterSource(SourceEntry entry);
   Result<const SourceEntry*> GetSource(const std::string& name) const;
   bool HasSource(const std::string& name) const;
   std::vector<std::string> SourceNames() const;
+
+  /// Registers a completed integration under `entry.name`; the name must be
+  /// non-empty and unique (`kAlreadyExists` otherwise).
+  Status RegisterIntegration(IntegrationHandle entry);
+  Result<const IntegrationHandle*> GetIntegration(const std::string& name) const;
+  bool HasIntegration(const std::string& name) const;
+  std::vector<std::string> IntegrationNames() const;
 
   /// Stores the schema-matching output for a source pair (order-sensitive).
   void StoreColumnMatches(const std::string& left, const std::string& right,
@@ -65,7 +108,8 @@ class Catalog {
   Result<const rel::RowMatching*> GetRowMatching(const std::string& left,
                                                  const std::string& right) const;
 
-  /// Registers a trained model; the name must be unique.
+  /// Registers a trained model; the name must be unique (`kAlreadyExists`
+  /// otherwise).
   Status RegisterModel(ModelEntry entry);
   Result<const ModelEntry*> GetModel(const std::string& name) const;
   std::vector<std::string> ModelNames() const;
@@ -74,6 +118,7 @@ class Catalog {
   using PairKey = std::pair<std::string, std::string>;
 
   std::map<std::string, SourceEntry> sources_;
+  std::map<std::string, IntegrationHandle> integrations_;
   std::map<PairKey, std::vector<integration::ColumnMatch>> column_matches_;
   std::map<PairKey, rel::RowMatching> row_matchings_;
   std::map<std::string, ModelEntry> models_;

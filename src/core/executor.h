@@ -1,6 +1,7 @@
 #ifndef AMALUR_CORE_EXECUTOR_H_
 #define AMALUR_CORE_EXECUTOR_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,13 @@ struct TrainRequest {
   ml::GradientDescentOptions gd;
   /// Federated wire protection (only used by federated plans).
   federated::VflPrivacy privacy = federated::VflPrivacy::kPlaintext;
+  /// When set, overrides the optimizer's choice: `Amalur::Train` executes
+  /// this strategy regardless of the cost estimate (the estimate is still
+  /// computed and attached to the plan for `Explain`). Ablations and tests
+  /// use this to pin a backend; privacy constraints are NOT overridden —
+  /// forcing a data-moving strategy over a privacy-constrained integration
+  /// is rejected with `kFailedPrecondition`.
+  std::optional<ExecutionStrategy> force_strategy;
 };
 
 /// The result of an executed plan.

@@ -25,7 +25,11 @@ enum class ExecutionStrategy : int8_t {
 
 const char* ExecutionStrategyToString(ExecutionStrategy strategy);
 
-/// The optimizer's verdict.
+/// The optimizer's verdict — also the payload `Amalur::Explain` returns for
+/// integrations and trained models. For a model trained with a
+/// `force_strategy` override, `strategy` is the forced one and
+/// `explanation` records both the override and the optimizer's own choice;
+/// `estimate` always carries the cost model's numbers.
 struct Plan {
   ExecutionStrategy strategy = ExecutionStrategy::kMaterialize;
   /// Cost estimate backing the decision (absent for privacy-forced plans).

@@ -40,6 +40,26 @@ TEST(CatalogTest, DiMetadataStorage) {
   EXPECT_EQ((*stored)->matched.size(), 1u);
 }
 
+TEST(CatalogTest, IntegrationRegistry) {
+  Catalog catalog;
+  IntegrationHandle handle;
+  handle.name = "star-1";
+  handle.source_names = {"fact", "dim"};
+  EXPECT_TRUE(catalog.RegisterIntegration(handle).ok());
+  // Duplicate names are rejected, never silently overwritten.
+  EXPECT_TRUE(catalog.RegisterIntegration(handle).IsAlreadyExists());
+  IntegrationHandle unnamed;
+  EXPECT_TRUE(catalog.RegisterIntegration(unnamed).IsInvalidArgument());
+  EXPECT_TRUE(catalog.HasIntegration("star-1"));
+  EXPECT_FALSE(catalog.HasIntegration("star-2"));
+  auto fetched = catalog.GetIntegration("star-1");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->source_names,
+            (std::vector<std::string>{"fact", "dim"}));
+  EXPECT_TRUE(catalog.GetIntegration("star-2").status().IsNotFound());
+  EXPECT_EQ(catalog.IntegrationNames(), (std::vector<std::string>{"star-1"}));
+}
+
 TEST(CatalogTest, ModelRegistry) {
   Catalog catalog;
   ModelEntry model;
@@ -77,19 +97,27 @@ TEST(AmalurTest, RunningExampleEndToEnd) {
   ASSERT_TRUE(
       amalur.catalog()->RegisterSource({"S2", ex.s2, "pulmonary", false}).ok());
 
-  auto integration =
-      amalur.Integrate("S1", "S2", rel::JoinKind::kFullOuterJoin);
+  IntegrationSpec spec;
+  spec.name = "er-pulmonary";
+  spec.sources = {"S1", "S2"};
+  spec.relationships = {rel::JoinKind::kFullOuterJoin};
+  auto integration = amalur.Integrate(spec);
   ASSERT_TRUE(integration.ok()) << integration.status();
   // Target schema synthesized as T(m, a, hr, o) — the paper's mediated schema.
   EXPECT_EQ(integration->mapping.target_schema().Names(),
             (std::vector<std::string>{"m", "a", "hr", "o"}));
   // ER recovered Jane.
-  ASSERT_EQ(integration->matching.matched.size(), 1u);
-  EXPECT_EQ(integration->matching.matched[0],
+  ASSERT_EQ(integration->matchings.size(), 1u);
+  ASSERT_EQ(integration->matchings[0].matched.size(), 1u);
+  EXPECT_EQ(integration->matchings[0].matched[0],
             (std::pair<size_t, size_t>{3, 2}));
   // The materialized matrix matches Figure 4.
   EXPECT_TRUE(integration->metadata.MaterializeTargetMatrix().ApproxEquals(
       integration::RunningExampleTargetMatrix()));
+  // The named handle became a first-class catalog object.
+  ASSERT_TRUE(amalur.catalog()->GetIntegration("er-pulmonary").ok());
+  // Re-integrating under the same name is rejected.
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsAlreadyExists());
 
   // Train mortality prediction; strategy is the optimizer's choice.
   TrainRequest request;
@@ -97,21 +125,26 @@ TEST(AmalurTest, RunningExampleEndToEnd) {
   request.label_column = "m";
   request.gd.iterations = 50;
   request.gd.learning_rate = 0.01;
-  auto outcome = amalur.Train(*integration, request, "mortality");
-  ASSERT_TRUE(outcome.ok()) << outcome.status();
-  EXPECT_EQ(outcome->weights.rows(), 3u);  // a, hr, o
-  EXPECT_FALSE(outcome->loss_history.empty());
+  auto model = amalur.Train(*integration, request, "mortality");
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->weights().rows(), 3u);  // a, hr, o
+  EXPECT_EQ(model->feature_names(),
+            (std::vector<std::string>{"a", "hr", "o"}));
+  EXPECT_FALSE(model->outcome().loss_history.empty());
+  // Explain reproduces the executed plan.
+  EXPECT_EQ(amalur.Explain(*model).strategy, model->outcome().strategy_used);
   // The model landed in the catalog.
-  auto model = amalur.catalog()->GetModel("mortality");
-  ASSERT_TRUE(model.ok());
-  EXPECT_EQ((*model)->task, "logistic_regression");
-  EXPECT_EQ((*model)->training_sources,
+  auto entry = amalur.catalog()->GetModel("mortality");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->task, "logistic_regression");
+  EXPECT_EQ((*entry)->training_sources,
             (std::vector<std::string>{"S1", "S2"}));
 }
 
 TEST(AmalurTest, FactorizedAndMaterializedAgreeEndToEnd) {
-  // Same integration, both strategies forced via the executor: identical
-  // weights — the paper's "factorization does not affect accuracy".
+  // Same integration, both strategies forced through the facade's
+  // `force_strategy` override: identical weights — the paper's
+  // "factorization does not affect accuracy".
   rel::SiloPairSpec spec;
   spec.kind = rel::JoinKind::kLeftJoin;
   spec.base_rows = 150;
@@ -134,16 +167,173 @@ TEST(AmalurTest, FactorizedAndMaterializedAgreeEndToEnd) {
   request.gd.iterations = 30;
   request.gd.learning_rate = 0.05;
 
-  Executor executor;
-  Plan factorize{ExecutionStrategy::kFactorize, {}, "forced"};
-  Plan materialize{ExecutionStrategy::kMaterialize, {}, "forced"};
-  auto fact = executor.Run(integration->metadata, factorize, request);
-  auto mat = executor.Run(integration->metadata, materialize, request);
+  request.force_strategy = ExecutionStrategy::kFactorize;
+  auto fact = amalur.Train(*integration, request);
+  request.force_strategy = ExecutionStrategy::kMaterialize;
+  auto mat = amalur.Train(*integration, request);
   ASSERT_TRUE(fact.ok()) << fact.status();
   ASSERT_TRUE(mat.ok()) << mat.status();
-  EXPECT_LT(fact->weights.MaxAbsDiff(mat->weights), 1e-8);
-  EXPECT_EQ(fact->strategy_used, ExecutionStrategy::kFactorize);
-  EXPECT_EQ(mat->strategy_used, ExecutionStrategy::kMaterialize);
+  EXPECT_LT(fact->weights().MaxAbsDiff(mat->weights()), 1e-8);
+  EXPECT_EQ(fact->outcome().strategy_used, ExecutionStrategy::kFactorize);
+  EXPECT_EQ(mat->outcome().strategy_used, ExecutionStrategy::kMaterialize);
+  // The forced plan records both the override and the optimizer's estimate.
+  EXPECT_NE(amalur.Explain(*fact).explanation.find("forced"),
+            std::string::npos);
+}
+
+TEST(AmalurTest, ForceStrategyAllThreeAgreeOnRedundancyFreeScenario) {
+  // A 1:1 inner join duplicates nothing, so every strategy sees the same
+  // training matrix and must learn the same weights.
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kInnerJoin;
+  spec.base_rows = 90;
+  spec.other_rows = 90;
+  spec.base_features = 2;
+  spec.other_features = 3;
+  spec.seed = 31;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+
+  AmalurOptions options;
+  options.matcher.threshold = 0.75;  // generic x0/z0 names need evidence
+  Amalur amalur(options);
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"a", pair.base, "", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"b", pair.other, "", false}).ok());
+  auto integration = amalur.Integrate("a", "b", rel::JoinKind::kInnerJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 40;
+  request.gd.learning_rate = 0.05;
+
+  std::vector<la::DenseMatrix> weights;
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kFactorize, ExecutionStrategy::kMaterialize,
+        ExecutionStrategy::kFederate}) {
+    request.force_strategy = strategy;
+    auto model = amalur.Train(*integration, request);
+    ASSERT_TRUE(model.ok())
+        << ExecutionStrategyToString(strategy) << ": " << model.status();
+    EXPECT_EQ(model->outcome().strategy_used, strategy);
+    weights.push_back(model->weights());
+  }
+  EXPECT_LT(weights[0].MaxAbsDiff(weights[1]), 1e-8);  // fact == mat
+  EXPECT_LT(weights[0].MaxAbsDiff(weights[2]), 1e-8);  // fact == federated
+}
+
+TEST(AmalurTest, ModelHandlePredictsAndEvaluatesRelationalData) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kLeftJoin;
+  spec.base_rows = 120;
+  spec.other_rows = 40;
+  spec.base_features = 2;
+  spec.other_features = 3;
+  spec.seed = 91;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"a", pair.base, "", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"b", pair.other, "", false}).ok());
+  auto integration = amalur.Integrate("a", "b", rel::JoinKind::kLeftJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 80;
+  request.gd.learning_rate = 0.05;
+  auto model = amalur.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  // Score the materialized target as a relational table.
+  const metadata::DiMetadata& md = integration->metadata;
+  rel::Table target = rel::Table::FromMatrix(
+      "target", md.MaterializeTargetMatrix(), md.target_schema().Names());
+  auto predictions = model->Predict(target);
+  ASSERT_TRUE(predictions.ok()) << predictions.status();
+  EXPECT_EQ(predictions->rows(), md.target_rows());
+  EXPECT_EQ(predictions->cols(), 1u);
+
+  auto report = model->Evaluate(target);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rows, md.target_rows());
+  // In-sample MSE of the final weights matches the last training loss.
+  EXPECT_NEAR(report->mse, model->outcome().loss_history.back(), 0.05);
+  EXPECT_DOUBLE_EQ(report->primary, report->mse);
+
+  // Missing feature columns surface as clean errors.
+  rel::Table incomplete("incomplete");
+  AMALUR_CHECK_OK(
+      incomplete.AddColumn(rel::Column::FromDoubles("y", {1.0, 2.0})));
+  EXPECT_TRUE(model->Predict(incomplete).status().IsNotFound());
+  EXPECT_TRUE(model->Evaluate(incomplete).status().IsNotFound());
+}
+
+TEST(AmalurTest, IntegrationSpecValidation) {
+  integration::RunningExample ex = integration::MakeRunningExample();
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S1", ex.s1, "", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S2", ex.s2, "", false}).ok());
+
+  IntegrationSpec spec;
+  spec.sources = {"S1"};
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsInvalidArgument());
+
+  spec.sources = {"S1", "S1"};
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsInvalidArgument());
+
+  spec.sources = {"S1", "S9"};
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsNotFound());
+
+  spec.sources = {"S1", "S2"};
+  spec.relationships = {rel::JoinKind::kInnerJoin, rel::JoinKind::kLeftJoin};
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsInvalidArgument());
+
+  spec.relationships = {rel::JoinKind::kInnerJoin};
+  spec.star_base = "S7";  // not among the sources
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsInvalidArgument());
+
+  // Star scenarios demand the left-join relationship on every edge.
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S3", ex.s2, "", false}).ok());
+  spec.star_base.clear();
+  spec.sources = {"S1", "S2", "S3"};
+  spec.relationships = {rel::JoinKind::kInnerJoin};
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsInvalidArgument());
+}
+
+TEST(AmalurTest, StarBaseReordersSources) {
+  // Naming a star base rotates it to the front: the spec below is the same
+  // scenario as {base, dim} with a left join.
+  rel::SiloPairSpec pair_spec;
+  pair_spec.kind = rel::JoinKind::kLeftJoin;
+  pair_spec.base_rows = 60;
+  pair_spec.other_rows = 20;
+  pair_spec.base_features = 2;
+  pair_spec.other_features = 2;
+  pair_spec.seed = 17;
+  rel::SiloPair pair = rel::GenerateSiloPair(pair_spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"dim", pair.other, "", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"base", pair.base, "", false}).ok());
+
+  IntegrationSpec spec;
+  spec.sources = {"dim", "base"};  // wrong order on purpose
+  spec.relationships = {rel::JoinKind::kLeftJoin};
+  spec.star_base = "base";
+  auto integration = amalur.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  EXPECT_EQ(integration->source_names,
+            (std::vector<std::string>{"base", "dim"}));
+  EXPECT_EQ(integration->metadata.target_rows(), 60u);
 }
 
 TEST(AmalurTest, PrivacySensitiveSourceTriggersFederatedRun) {
@@ -164,17 +354,24 @@ TEST(AmalurTest, PrivacySensitiveSourceTriggersFederatedRun) {
   auto integration = amalur.Integrate("S1", "S2", rel::JoinKind::kInnerJoin);
   ASSERT_TRUE(integration.ok()) << integration.status();
   EXPECT_TRUE(integration->privacy_constrained);
-  EXPECT_EQ(amalur.PlanFor(*integration).strategy, ExecutionStrategy::kFederate);
+  EXPECT_EQ(amalur.Explain(*integration).strategy, ExecutionStrategy::kFederate);
 
   TrainRequest request;
   request.label_column = "y";
   request.gd.iterations = 25;
   request.gd.learning_rate = 0.05;
-  auto outcome = amalur.Train(*integration, request);
-  ASSERT_TRUE(outcome.ok()) << outcome.status();
-  EXPECT_EQ(outcome->strategy_used, ExecutionStrategy::kFederate);
-  EXPECT_GT(outcome->bytes_transferred, 0u);
-  EXPECT_LT(outcome->loss_history.back(), outcome->loss_history.front());
+  auto model = amalur.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->outcome().strategy_used, ExecutionStrategy::kFederate);
+  EXPECT_GT(model->outcome().bytes_transferred, 0u);
+  EXPECT_LT(model->outcome().loss_history.back(),
+            model->outcome().loss_history.front());
+
+  // Forcing a data-moving strategy over a privacy-constrained integration
+  // is rejected — the override cannot launder the privacy constraint.
+  request.force_strategy = ExecutionStrategy::kMaterialize;
+  EXPECT_TRUE(
+      amalur.Train(*integration, request).status().IsFailedPrecondition());
 }
 
 TEST(AmalurTest, IntegrateValidation) {

@@ -7,6 +7,7 @@
 
 #include <fstream>
 
+#include "common/rng.h"
 #include "core/amalur.h"
 #include "factorized/scenario_builder.h"
 #include "integration/running_example.h"
@@ -48,7 +49,8 @@ TEST(SystemTest, CsvRoundTripThroughFullPipeline) {
 
 TEST(SystemTest, AllThreeStrategiesAgreeOnOneScenario) {
   // An inner-join scenario is VFL-compatible, so all three strategies can
-  // run — and must produce the same linear model.
+  // run — and must produce the same linear model. All three are forced
+  // through the facade's TrainRequest::force_strategy override.
   rel::SiloPairSpec spec;
   spec.kind = rel::JoinKind::kInnerJoin;
   spec.base_rows = 90;
@@ -57,10 +59,20 @@ TEST(SystemTest, AllThreeStrategiesAgreeOnOneScenario) {
   spec.other_features = 3;
   spec.seed = 31;
   rel::SiloPair pair = rel::GenerateSiloPair(spec);
-  auto metadata = factorized::DerivePairMetadata(pair);
-  ASSERT_TRUE(metadata.ok());
 
-  core::Executor executor;
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  core::Amalur system(options);
+  ASSERT_TRUE(
+      system.catalog()->RegisterSource({"a", pair.base, "", false}).ok());
+  ASSERT_TRUE(
+      system.catalog()->RegisterSource({"b", pair.other, "", false}).ok());
+  core::IntegrationSpec integration_spec;
+  integration_spec.sources = {"a", "b"};
+  integration_spec.relationships = {rel::JoinKind::kInnerJoin};
+  auto integration = system.Integrate(integration_spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
   core::TrainRequest request;
   request.label_column = "y";
   request.gd.iterations = 40;
@@ -71,12 +83,12 @@ TEST(SystemTest, AllThreeStrategiesAgreeOnOneScenario) {
        {core::ExecutionStrategy::kFactorize,
         core::ExecutionStrategy::kMaterialize,
         core::ExecutionStrategy::kFederate}) {
-    core::Plan plan{strategy, {}, "forced"};
-    auto outcome = executor.Run(*metadata, plan, request);
-    ASSERT_TRUE(outcome.ok())
-        << core::ExecutionStrategyToString(strategy) << ": "
-        << outcome.status();
-    weights.push_back(outcome->weights);
+    request.force_strategy = strategy;
+    auto model = system.Train(*integration, request);
+    ASSERT_TRUE(model.ok())
+        << core::ExecutionStrategyToString(strategy) << ": " << model.status();
+    EXPECT_EQ(model->outcome().strategy_used, strategy);
+    weights.push_back(model->weights());
   }
   EXPECT_LT(weights[0].MaxAbsDiff(weights[1]), 1e-8);  // fact == mat
   EXPECT_LT(weights[0].MaxAbsDiff(weights[2]), 1e-8);  // fact == federated
@@ -104,9 +116,9 @@ TEST(SystemTest, CatalogAccumulatesModelsAcrossIntegrations) {
   request.label_column = "y";
   request.gd.iterations = 10;
   request.gd.learning_rate = 0.05;
-  ASSERT_TRUE(system.Train(*integration, request, "model-v1").ok());
+  ASSERT_TRUE(system.Train(*integration, request, "model-v1").status().ok());
   request.gd.iterations = 20;
-  ASSERT_TRUE(system.Train(*integration, request, "model-v2").ok());
+  ASSERT_TRUE(system.Train(*integration, request, "model-v2").status().ok());
   // Same name twice is rejected.
   EXPECT_TRUE(
       system.Train(*integration, request, "model-v1").status()
@@ -146,9 +158,243 @@ TEST(SystemTest, UnionIntegrationEndToEnd) {
   request.label_column = "y";
   request.gd.iterations = 60;
   request.gd.learning_rate = 0.1;
-  auto outcome = system.Train(*integration, request);
-  ASSERT_TRUE(outcome.ok()) << outcome.status();
-  EXPECT_LT(outcome->loss_history.back(), outcome->loss_history.front());
+  auto model = system.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_LT(model->outcome().loss_history.back(),
+            model->outcome().loss_history.front());
+}
+
+namespace star {
+
+/// A small three-source star: a fact table referencing two keyed dimensions.
+struct StarFixture {
+  rel::Table fact{"visits"};
+  rel::Table patients;
+  rel::Table clinics;
+};
+
+rel::Table MakeDimension(const std::string& name, const std::string& key,
+                         size_t rows, size_t features, Rng* rng) {
+  rel::Table table(name);
+  std::vector<int64_t> keys(rows);
+  for (size_t i = 0; i < rows; ++i) keys[i] = static_cast<int64_t>(i);
+  AMALUR_CHECK_OK(table.AddColumn(rel::Column::FromInt64s(key, keys)));
+  for (size_t f = 0; f < features; ++f) {
+    std::vector<double> values(rows);
+    for (double& v : values) v = rng->NextGaussian();
+    AMALUR_CHECK_OK(table.AddColumn(rel::Column::FromDoubles(
+        name.substr(0, 3) + "_" + std::to_string(f), values)));
+  }
+  return table;
+}
+
+StarFixture MakeStar(size_t fact_rows, uint64_t seed) {
+  Rng rng(seed);
+  StarFixture fixture;
+  fixture.patients = MakeDimension("patients", "patient_id", 40, 3, &rng);
+  fixture.clinics = MakeDimension("clinics", "clinic_id", 10, 2, &rng);
+  std::vector<int64_t> pid(fact_rows), cid(fact_rows);
+  std::vector<double> charge(fact_rows), visits(fact_rows);
+  for (size_t i = 0; i < fact_rows; ++i) {
+    pid[i] = static_cast<int64_t>(rng.NextUint64(40));
+    cid[i] = static_cast<int64_t>(rng.NextUint64(10));
+    visits[i] = rng.NextGaussian();
+    charge[i] = 1.3 * visits[i] + 0.2 * rng.NextGaussian();
+  }
+  AMALUR_CHECK_OK(
+      fixture.fact.AddColumn(rel::Column::FromInt64s("patient_id", pid)));
+  AMALUR_CHECK_OK(
+      fixture.fact.AddColumn(rel::Column::FromInt64s("clinic_id", cid)));
+  AMALUR_CHECK_OK(
+      fixture.fact.AddColumn(rel::Column::FromDoubles("charge", charge)));
+  AMALUR_CHECK_OK(
+      fixture.fact.AddColumn(rel::Column::FromDoubles("visits", visits)));
+  return fixture;
+}
+
+/// The hand-built derivation the facade must reproduce: explicit schema
+/// mapping, key-equality row matchings, DeriveStar — exactly what
+/// examples/star_schema.cpp did before the facade grew the n-ary path.
+metadata::DiMetadata HandBuiltMetadata(const StarFixture& fixture) {
+  std::vector<std::string> target_names{"charge", "visits"};
+  std::vector<integration::ColumnCorrespondence> fact_corr{
+      {"charge", "charge"}, {"visits", "visits"}};
+  auto dimension_corr = [&target_names](const rel::Table& dim) {
+    std::vector<integration::ColumnCorrespondence> corr;
+    for (size_t j = 1; j < dim.NumColumns(); ++j) {  // skip the key
+      corr.push_back({dim.column(j).name(), dim.column(j).name()});
+      target_names.push_back(dim.column(j).name());
+    }
+    return corr;
+  };
+  auto patients_corr = dimension_corr(fixture.patients);
+  auto clinics_corr = dimension_corr(fixture.clinics);
+
+  auto mapping = integration::SchemaMapping::Create(
+      rel::JoinKind::kLeftJoin,
+      {integration::SchemaMapping::SourceSpec{"visits", fixture.fact.schema(),
+                                              fact_corr},
+       integration::SchemaMapping::SourceSpec{
+           "patients", fixture.patients.schema(), patients_corr},
+       integration::SchemaMapping::SourceSpec{
+           "clinics", fixture.clinics.schema(), clinics_corr}},
+      rel::Schema::AllDouble(target_names),
+      {{0, "patient_id", 1, "patient_id"}, {0, "clinic_id", 2, "clinic_id"}});
+  AMALUR_CHECK(mapping.ok()) << mapping.status();
+
+  std::vector<rel::RowMatching> matchings;
+  for (const auto& [dim, key] :
+       std::vector<std::pair<const rel::Table*, std::string>>{
+           {&fixture.patients, "patient_id"}, {&fixture.clinics, "clinic_id"}}) {
+    auto matching = rel::MatchRowsOnKeys(fixture.fact, *dim, {key}, {key});
+    AMALUR_CHECK(matching.ok()) << matching.status();
+    matchings.push_back(std::move(matching).ValueOrDie());
+  }
+  auto metadata = metadata::DiMetadata::DeriveStar(
+      *mapping, {&fixture.fact, &fixture.patients, &fixture.clinics},
+      matchings);
+  AMALUR_CHECK(metadata.ok()) << metadata.status();
+  return std::move(metadata).ValueOrDie();
+}
+
+core::Amalur MakeSystemWithStar(const StarFixture& fixture) {
+  core::Amalur system;
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+      {"visits", fixture.fact, "clinic-dept", false}));
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+      {"patients", fixture.patients, "registry", false}));
+  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+      {"clinics", fixture.clinics, "geo", false}));
+  return system;
+}
+
+}  // namespace star
+
+TEST(SystemTest, StarFacadeMatchesHandBuiltDerivation) {
+  // The automatic n-ary pipeline must reproduce the hand-built star
+  // derivation: same target schema, same per-silo shapes, same materialized
+  // target matrix.
+  star::StarFixture fixture = star::MakeStar(300, 606);
+  const metadata::DiMetadata reference = star::HandBuiltMetadata(fixture);
+
+  core::Amalur system = star::MakeSystemWithStar(fixture);
+  core::IntegrationSpec spec;
+  spec.name = "visits-star";
+  spec.sources = {"visits", "patients", "clinics"};
+  spec.relationships = {rel::JoinKind::kLeftJoin};
+  auto integration = system.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  const metadata::DiMetadata& derived = integration->metadata;
+  ASSERT_EQ(derived.num_sources(), reference.num_sources());
+  EXPECT_EQ(derived.target_schema().Names(), reference.target_schema().Names());
+  EXPECT_EQ(derived.target_rows(), reference.target_rows());
+  for (size_t k = 0; k < derived.num_sources(); ++k) {
+    EXPECT_EQ(derived.source(k).data.rows(), reference.source(k).data.rows());
+    EXPECT_EQ(derived.source(k).data.cols(), reference.source(k).data.cols());
+  }
+  EXPECT_TRUE(derived.MaterializeTargetMatrix().ApproxEquals(
+      reference.MaterializeTargetMatrix()));
+  // The named handle is reusable from the catalog, and the per-edge DI
+  // metadata was cached under the source pairs.
+  EXPECT_TRUE(system.catalog()->GetIntegration("visits-star").ok());
+  EXPECT_TRUE(system.catalog()->GetColumnMatches("visits", "patients").ok());
+  EXPECT_TRUE(system.catalog()->GetRowMatching("visits", "clinics").ok());
+}
+
+TEST(SystemTest, StarFacadeMergesOverlappingDimensionFeature) {
+  // A dimension column sharing a base feature's name schema-matches it and
+  // merges into ONE target column (the base value wins under a left join)
+  // instead of appearing twice — and both strategies still agree.
+  star::StarFixture fixture = star::MakeStar(200, 808);
+  {
+    Rng rng(909);
+    std::vector<double> values(fixture.patients.NumRows());
+    for (double& v : values) v = rng.NextGaussian();
+    AMALUR_CHECK_OK(fixture.patients.AddColumn(
+        rel::Column::FromDoubles("visits", values)));  // overlaps the fact's
+  }
+  core::Amalur system = star::MakeSystemWithStar(fixture);
+  core::IntegrationSpec spec;
+  spec.sources = {"visits", "patients", "clinics"};
+  spec.relationships = {rel::JoinKind::kLeftJoin};
+  auto integration = system.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  size_t visits_columns = 0;
+  for (const std::string& name : integration->metadata.target_schema().Names()) {
+    if (name.rfind("visits", 0) == 0) ++visits_columns;
+  }
+  EXPECT_EQ(visits_columns, 1u);  // merged, not duplicated or suffixed
+
+  core::TrainRequest request;
+  request.label_column = "charge";
+  request.gd.iterations = 40;
+  request.gd.learning_rate = 0.05;
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto fact = system.Train(*integration, request);
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto mat = system.Train(*integration, request);
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_LT(fact->weights().MaxAbsDiff(mat->weights()), 1e-7);
+}
+
+TEST(SystemTest, StarFacadeTrainsPredictsEvaluatesUnderBothStrategies) {
+  // Acceptance scenario: a 3-source star through the facade, trained under
+  // both the factorized and the materialized strategy — same weights, and
+  // matching evaluation metrics on the materialized target table.
+  star::StarFixture fixture = star::MakeStar(400, 707);
+  core::Amalur system = star::MakeSystemWithStar(fixture);
+
+  core::IntegrationSpec spec;
+  spec.sources = {"visits", "patients", "clinics"};
+  spec.relationships = {rel::JoinKind::kLeftJoin};
+  auto integration = system.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  core::TrainRequest request;
+  request.label_column = "charge";
+  request.gd.iterations = 60;
+  request.gd.learning_rate = 0.05;
+
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto factorized = system.Train(*integration, request, "star-fact");
+  ASSERT_TRUE(factorized.ok()) << factorized.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto materialized = system.Train(*integration, request, "star-mat");
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+
+  EXPECT_EQ(factorized->outcome().strategy_used,
+            core::ExecutionStrategy::kFactorize);
+  EXPECT_EQ(materialized->outcome().strategy_used,
+            core::ExecutionStrategy::kMaterialize);
+  EXPECT_LT(factorized->weights().MaxAbsDiff(materialized->weights()), 1e-8);
+
+  // Serve both models over the same relational table; metrics must match.
+  const metadata::DiMetadata& md = integration->metadata;
+  rel::Table target = rel::Table::FromMatrix(
+      "target", md.MaterializeTargetMatrix(), md.target_schema().Names());
+  auto predictions = factorized->Predict(target);
+  ASSERT_TRUE(predictions.ok()) << predictions.status();
+  EXPECT_EQ(predictions->rows(), md.target_rows());
+
+  auto fact_report = factorized->Evaluate(target);
+  auto mat_report = materialized->Evaluate(target);
+  ASSERT_TRUE(fact_report.ok()) << fact_report.status();
+  ASSERT_TRUE(mat_report.ok()) << mat_report.status();
+  EXPECT_EQ(fact_report->rows, md.target_rows());
+  EXPECT_NEAR(fact_report->mse, mat_report->mse, 1e-10);
+  // The model learned the planted relationship charge ~ 1.3 * visits.
+  EXPECT_LT(fact_report->mse, 0.1);
+
+  // Explain exposes both the forced strategy and the optimizer's estimate.
+  const core::Plan& plan = system.Explain(*factorized);
+  EXPECT_EQ(plan.strategy, core::ExecutionStrategy::kFactorize);
+  EXPECT_NE(plan.explanation.find("forced"), std::string::npos);
+  // Both trained models are in the catalog model zoo.
+  EXPECT_EQ(system.catalog()->ModelNames(),
+            (std::vector<std::string>{"star-fact", "star-mat"}));
 }
 
 }  // namespace
