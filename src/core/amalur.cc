@@ -433,6 +433,9 @@ Result<ModelHandle> Amalur::Train(const IntegrationHandle& integration,
   Executor executor;
   AMALUR_ASSIGN_OR_RETURN(TrainOutcome outcome,
                           executor.Run(integration.metadata, plan, request));
+  plan.explanation += "; executed with " +
+                      std::to_string(outcome.threads_used) +
+                      (outcome.threads_used == 1 ? " thread" : " threads");
 
   ModelHandle model;
   model.name_ = model_name;

@@ -1,8 +1,10 @@
 #include "core/executor.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "ml/training_matrix.h"
 
 namespace amalur {
@@ -44,6 +46,13 @@ Result<TrainOutcome> Executor::Run(const metadata::DiMetadata& metadata,
 
   TrainOutcome outcome;
   outcome.strategy_used = plan.strategy;
+  // Scope the request's thread knob over the whole run: every kernel under
+  // this frame (dense, CSR, factorized, sigmoid) picks it up. Report the
+  // parallelism actually applied, not the request — a knob above the pool's
+  // capacity still chunks for the requested count but executes narrower.
+  common::ScopedNumThreads thread_scope(request.num_threads);
+  outcome.threads_used = std::min(common::NumThreads(),
+                                  common::ThreadPool::Global()->parallelism());
   Stopwatch stopwatch;
 
   switch (plan.strategy) {

@@ -36,6 +36,11 @@ struct TrainRequest {
   ml::GradientDescentOptions gd;
   /// Federated wire protection (only used by federated plans).
   federated::VflPrivacy privacy = federated::VflPrivacy::kPlaintext;
+  /// Worker threads for the training kernels. 0 keeps the runtime default
+  /// (`AMALUR_NUM_THREADS`, else hardware concurrency); 1 forces serial
+  /// execution. The effective count is reported in
+  /// `TrainOutcome::threads_used` and the executed plan's explanation.
+  size_t num_threads = 0;
   /// When set, overrides the optimizer's choice: `Amalur::Train` executes
   /// this strategy regardless of the cost estimate (the estimate is still
   /// computed and attached to the plan for `Explain`). Ablations and tests
@@ -56,6 +61,11 @@ struct TrainOutcome {
   double seconds = 0.0;
   /// Bytes moved between parties (federated runs only).
   size_t bytes_transferred = 0;
+  /// Parallelism the kernels actually ran with: the requested count (the
+  /// request's `num_threads` when set, else the runtime default) capped by
+  /// the pool's capacity. Chunk-geometry determinism follows the *requested*
+  /// count; this field reports the execution width.
+  size_t threads_used = 1;
 };
 
 /// Executes plans against derived metadata.

@@ -4,8 +4,20 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/parallel_for.h"
+
 namespace amalur {
 namespace factorized {
+
+namespace {
+// ParallelFor grains for the rewrite kernels. Plans are processed serially
+// (different plans may touch the same target rows/columns); within a plan
+// every parallel loop partitions disjoint output, so results are
+// bitwise-equal to the serial kernels at any thread count.
+constexpr size_t kUniqueGrain = 32;  // unique-source-row loops
+constexpr size_t kExpandGrain = 512; // target-row fan-out loops
+constexpr size_t kColumnGrain = 8;   // target-column band loops
+}  // namespace
 
 FactorizedTable::FactorizedTable(metadata::DiMetadata metadata)
     : metadata_(std::move(metadata)) {
@@ -63,7 +75,22 @@ void FactorizedTable::BuildPlans(bool ignore_redundancy) {
           }
         }
       }
-      if (!plan.dk_cols.empty()) plans_[k].push_back(std::move(plan));
+      if (plan.dk_cols.empty()) continue;
+
+      // Reverse fan-out index (unique row -> its target rows, class order).
+      plan.fanout_offsets.assign(plan.unique_source_rows.size() + 1, 0);
+      for (size_t u : plan.target_to_unique) ++plan.fanout_offsets[u + 1];
+      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+        plan.fanout_offsets[u + 1] += plan.fanout_offsets[u];
+      }
+      plan.fanout_targets.resize(plan.target_rows.size());
+      std::vector<size_t> cursor(plan.fanout_offsets.begin(),
+                                 plan.fanout_offsets.end() - 1);
+      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
+        plan.fanout_targets[cursor[plan.target_to_unique[r]]++] =
+            plan.target_rows[r];
+      }
+      plans_[k].push_back(std::move(plan));
     }
   }
 }
@@ -76,23 +103,33 @@ la::DenseMatrix FactorizedTable::LeftMultiply(const la::DenseMatrix& x) const {
     const la::DenseMatrix& dk = metadata_.source(k).data;
     for (const RowClassPlan& plan : plans_[k]) {
       // Compute once per unique source row: U = D_k[rows, cols] · X[t_cols].
+      // Parallel over unique rows — each chunk writes disjoint `unique` rows.
       la::DenseMatrix unique(plan.unique_source_rows.size(), n);
-      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
-        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
-        double* u_row = unique.RowPtr(u);
-        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
-          const double v = d_row[plan.dk_cols[p]];
-          if (v == 0.0) continue;
-          const double* x_row = x.RowPtr(plan.t_cols[p]);
-          for (size_t c = 0; c < n; ++c) u_row[c] += v * x_row[c];
-        }
-      }
+      common::ParallelFor(
+          0, plan.unique_source_rows.size(), kUniqueGrain,
+          [&](size_t u_begin, size_t u_end) {
+            for (size_t u = u_begin; u < u_end; ++u) {
+              const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+              double* u_row = unique.RowPtr(u);
+              for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
+                const double v = d_row[plan.dk_cols[p]];
+                if (v == 0.0) continue;
+                const double* x_row = x.RowPtr(plan.t_cols[p]);
+                for (size_t c = 0; c < n; ++c) u_row[c] += v * x_row[c];
+              }
+            }
+          });
       // Expand through the indicator (fan-out rows share one computation).
-      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
-        const double* u_row = unique.RowPtr(plan.target_to_unique[r]);
-        double* out_row = out.RowPtr(plan.target_rows[r]);
-        for (size_t c = 0; c < n; ++c) out_row[c] += u_row[c];
-      }
+      // A class's target rows are distinct, so chunks write disjoint rows.
+      common::ParallelFor(
+          0, plan.target_rows.size(), kExpandGrain,
+          [&](size_t r_begin, size_t r_end) {
+            for (size_t r = r_begin; r < r_end; ++r) {
+              const double* u_row = unique.RowPtr(plan.target_to_unique[r]);
+              double* out_row = out.RowPtr(plan.target_rows[r]);
+              for (size_t c = 0; c < n; ++c) out_row[c] += u_row[c];
+            }
+          });
     }
   }
   return out;
@@ -107,24 +144,38 @@ la::DenseMatrix FactorizedTable::TransposeLeftMultiply(
     const la::DenseMatrix& dk = metadata_.source(k).data;
     for (const RowClassPlan& plan : plans_[k]) {
       // Reduce X over fan-out first: one accumulated row per unique source
-      // row (the Iᵀ step), then a single pass of multiply-adds per source
-      // row (the D_kᵀ step).
+      // row (the Iᵀ step), then the D_kᵀ multiply-add pass. The reduce runs
+      // parallel over unique rows via the reverse fan-out index (disjoint
+      // `reduced` rows, same ascending accumulation order as the serial
+      // walk); the multiply-add runs parallel over target-column bands
+      // (disjoint `out` rows, u ascending per element in both orders).
       la::DenseMatrix reduced(plan.unique_source_rows.size(), n);
-      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
-        const double* x_row = x.RowPtr(plan.target_rows[r]);
-        double* acc = reduced.RowPtr(plan.target_to_unique[r]);
-        for (size_t c = 0; c < n; ++c) acc[c] += x_row[c];
-      }
-      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
-        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
-        const double* acc = reduced.RowPtr(u);
-        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
-          const double v = d_row[plan.dk_cols[p]];
-          if (v == 0.0) continue;
-          double* out_row = out.RowPtr(plan.t_cols[p]);
-          for (size_t c = 0; c < n; ++c) out_row[c] += v * acc[c];
-        }
-      }
+      common::ParallelFor(
+          0, plan.unique_source_rows.size(), kUniqueGrain,
+          [&](size_t u_begin, size_t u_end) {
+            for (size_t u = u_begin; u < u_end; ++u) {
+              double* acc = reduced.RowPtr(u);
+              for (size_t q = plan.fanout_offsets[u];
+                   q < plan.fanout_offsets[u + 1]; ++q) {
+                const double* x_row = x.RowPtr(plan.fanout_targets[q]);
+                for (size_t c = 0; c < n; ++c) acc[c] += x_row[c];
+              }
+            }
+          });
+      common::ParallelFor(
+          0, plan.dk_cols.size(), kColumnGrain,
+          [&](size_t p_begin, size_t p_end) {
+            for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+              const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+              const double* acc = reduced.RowPtr(u);
+              for (size_t p = p_begin; p < p_end; ++p) {
+                const double v = d_row[plan.dk_cols[p]];
+                if (v == 0.0) continue;
+                double* out_row = out.RowPtr(plan.t_cols[p]);
+                for (size_t c = 0; c < n; ++c) out_row[c] += v * acc[c];
+              }
+            }
+          });
     }
   }
   return out;
@@ -138,21 +189,29 @@ la::DenseMatrix FactorizedTable::RightMultiply(const la::DenseMatrix& x) const {
     const la::DenseMatrix& dk = metadata_.source(k).data;
     for (const RowClassPlan& plan : plans_[k]) {
       // Aggregate X's fan-out columns per unique source row, then multiply.
+      // Both passes touch only row i of `aggregated`/`out` for X row i, so
+      // they fuse into one parallel loop over disjoint X-row chunks.
       la::DenseMatrix aggregated(m, plan.unique_source_rows.size());
-      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
-        const size_t t = plan.target_rows[r];
-        const size_t u = plan.target_to_unique[r];
-        for (size_t i = 0; i < m; ++i) aggregated.At(i, u) += x.At(i, t);
-      }
-      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
-        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
-        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
-          const double v = d_row[plan.dk_cols[p]];
-          if (v == 0.0) continue;
-          const size_t c = plan.t_cols[p];
-          for (size_t i = 0; i < m; ++i) out.At(i, c) += aggregated.At(i, u) * v;
+      common::ParallelFor(0, m, 1, [&](size_t i_begin, size_t i_end) {
+        for (size_t r = 0; r < plan.target_rows.size(); ++r) {
+          const size_t t = plan.target_rows[r];
+          const size_t u = plan.target_to_unique[r];
+          for (size_t i = i_begin; i < i_end; ++i) {
+            aggregated.At(i, u) += x.At(i, t);
+          }
         }
-      }
+        for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+          const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+          for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
+            const double v = d_row[plan.dk_cols[p]];
+            if (v == 0.0) continue;
+            const size_t c = plan.t_cols[p];
+            for (size_t i = i_begin; i < i_end; ++i) {
+              out.At(i, c) += aggregated.At(i, u) * v;
+            }
+          }
+        }
+      });
     }
   }
   return out;
@@ -164,13 +223,21 @@ la::DenseMatrix FactorizedTable::RowSums() const {
     const la::DenseMatrix& dk = metadata_.source(k).data;
     for (const RowClassPlan& plan : plans_[k]) {
       std::vector<double> sums(plan.unique_source_rows.size(), 0.0);
-      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
-        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
-        for (size_t j : plan.dk_cols) sums[u] += d_row[j];
-      }
-      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
-        out.At(plan.target_rows[r], 0) += sums[plan.target_to_unique[r]];
-      }
+      common::ParallelFor(
+          0, plan.unique_source_rows.size(), kUniqueGrain,
+          [&](size_t u_begin, size_t u_end) {
+            for (size_t u = u_begin; u < u_end; ++u) {
+              const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+              for (size_t j : plan.dk_cols) sums[u] += d_row[j];
+            }
+          });
+      common::ParallelFor(
+          0, plan.target_rows.size(), kExpandGrain,
+          [&](size_t r_begin, size_t r_end) {
+            for (size_t r = r_begin; r < r_end; ++r) {
+              out.At(plan.target_rows[r], 0) += sums[plan.target_to_unique[r]];
+            }
+          });
     }
   }
   return out;
@@ -181,15 +248,21 @@ la::DenseMatrix FactorizedTable::ColSums() const {
   for (size_t k = 0; k < metadata_.num_sources(); ++k) {
     const la::DenseMatrix& dk = metadata_.source(k).data;
     for (const RowClassPlan& plan : plans_[k]) {
-      // Fan-out multiplies each unique source row's contribution.
-      std::vector<double> counts(plan.unique_source_rows.size(), 0.0);
-      for (size_t u : plan.target_to_unique) counts[u] += 1.0;
-      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
-        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
-        for (size_t p = 0; p < plan.dk_cols.size(); ++p) {
-          out.At(0, plan.t_cols[p]) += counts[u] * d_row[plan.dk_cols[p]];
-        }
-      }
+      // Fan-out multiplies each unique source row's contribution; the
+      // multiplicity comes straight off the reverse fan-out index. Parallel
+      // over target-column bands (disjoint `out` cells within a plan).
+      common::ParallelFor(
+          0, plan.dk_cols.size(), kColumnGrain,
+          [&](size_t p_begin, size_t p_end) {
+            for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
+              const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+              const double count = static_cast<double>(
+                  plan.fanout_offsets[u + 1] - plan.fanout_offsets[u]);
+              for (size_t p = p_begin; p < p_end; ++p) {
+                out.At(0, plan.t_cols[p]) += count * d_row[plan.dk_cols[p]];
+              }
+            }
+          });
     }
   }
   return out;
@@ -201,13 +274,21 @@ la::DenseMatrix FactorizedTable::RowSquaredNorms() const {
     const la::DenseMatrix& dk = metadata_.source(k).data;
     for (const RowClassPlan& plan : plans_[k]) {
       std::vector<double> sums(plan.unique_source_rows.size(), 0.0);
-      for (size_t u = 0; u < plan.unique_source_rows.size(); ++u) {
-        const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
-        for (size_t j : plan.dk_cols) sums[u] += d_row[j] * d_row[j];
-      }
-      for (size_t r = 0; r < plan.target_rows.size(); ++r) {
-        out.At(plan.target_rows[r], 0) += sums[plan.target_to_unique[r]];
-      }
+      common::ParallelFor(
+          0, plan.unique_source_rows.size(), kUniqueGrain,
+          [&](size_t u_begin, size_t u_end) {
+            for (size_t u = u_begin; u < u_end; ++u) {
+              const double* d_row = dk.RowPtr(plan.unique_source_rows[u]);
+              for (size_t j : plan.dk_cols) sums[u] += d_row[j] * d_row[j];
+            }
+          });
+      common::ParallelFor(
+          0, plan.target_rows.size(), kExpandGrain,
+          [&](size_t r_begin, size_t r_end) {
+            for (size_t r = r_begin; r < r_end; ++r) {
+              out.At(plan.target_rows[r], 0) += sums[plan.target_to_unique[r]];
+            }
+          });
     }
   }
   return out;

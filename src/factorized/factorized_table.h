@@ -78,6 +78,13 @@ class FactorizedTable {
     std::vector<size_t> target_rows;
     /// Index into `unique_source_rows`, parallel to `target_rows`.
     std::vector<size_t> target_to_unique;
+    /// Reverse fan-out index: for unique row u, the target rows it expands
+    /// to are `fanout_targets[fanout_offsets[u] .. fanout_offsets[u+1])`, in
+    /// class (ascending-row) order. Lets the transpose rewrites reduce over
+    /// fan-out *per unique row* — disjoint writes under parallel execution
+    /// and the same floating-point accumulation order as the serial walk.
+    std::vector<size_t> fanout_offsets;  // size unique_source_rows.size() + 1
+    std::vector<size_t> fanout_targets;  // size target_rows.size()
     /// Allowed (D_k column, target column) pairs for this class.
     std::vector<size_t> dk_cols;
     std::vector<size_t> t_cols;  // parallel to dk_cols

@@ -4,12 +4,17 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel_for.h"
+
 namespace amalur {
 namespace la {
 
 namespace {
 // Micro-kernel block size; tuned for ~32KiB L1 caches but not critical.
 constexpr size_t kBlock = 64;
+// Minimum elements per ParallelFor chunk for element-wise reductions; below
+// this the scheduling overhead beats the arithmetic.
+constexpr size_t kReduceGrain = 1 << 14;
 }  // namespace
 
 DenseMatrix::DenseMatrix(size_t rows, size_t cols, std::vector<double> data)
@@ -55,26 +60,35 @@ DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
   AMALUR_CHECK_EQ(cols_, other.rows_) << "gemm shape mismatch";
   DenseMatrix out(rows_, other.cols_);
   const size_t m = rows_, k = cols_, n = other.cols_;
-  // i-k-j loop order with blocking: streams through `other` rows, which is
-  // cache-friendly for row-major storage.
-  for (size_t ii = 0; ii < m; ii += kBlock) {
-    const size_t i_end = std::min(ii + kBlock, m);
-    for (size_t kk = 0; kk < k; kk += kBlock) {
-      const size_t k_end = std::min(kk + kBlock, k);
-      for (size_t i = ii; i < i_end; ++i) {
-        const double* a_row = RowPtr(i);
-        double* out_row = out.RowPtr(i);
-        for (size_t p = kk; p < k_end; ++p) {
-          // No zero-skipping: this is the dense-BLAS reference the
-          // materialized path is priced against; structural-zero skipping
-          // is the factorized kernels' prerogative.
-          const double a = a_row[p];
-          const double* b_row = other.RowPtr(p);
-          for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+  // i-k-j loop order with blocking on all three extents: streams through
+  // `other` rows (cache-friendly for row-major storage) and tiles `n` so the
+  // active `out`/`b` row segments stay in L1 for wide right-hand sides.
+  // Parallel over output row blocks — chunks write disjoint `out` rows and
+  // each element accumulates its k-terms in ascending order, so the result
+  // is bitwise-equal to the serial kernel at any thread count.
+  common::ParallelFor(0, m, kBlock, [&](size_t row_begin, size_t row_end) {
+    for (size_t ii = row_begin; ii < row_end; ii += kBlock) {
+      const size_t i_end = std::min(ii + kBlock, row_end);
+      for (size_t jj = 0; jj < n; jj += kBlock) {
+        const size_t j_end = std::min(jj + kBlock, n);
+        for (size_t kk = 0; kk < k; kk += kBlock) {
+          const size_t k_end = std::min(kk + kBlock, k);
+          for (size_t i = ii; i < i_end; ++i) {
+            const double* a_row = RowPtr(i);
+            double* out_row = out.RowPtr(i);
+            for (size_t p = kk; p < k_end; ++p) {
+              // No zero-skipping: this is the dense-BLAS reference the
+              // materialized path is priced against; structural-zero skipping
+              // is the factorized kernels' prerogative.
+              const double a = a_row[p];
+              const double* b_row = other.RowPtr(p);
+              for (size_t j = jj; j < j_end; ++j) out_row[j] += a * b_row[j];
+            }
+          }
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -82,41 +96,53 @@ DenseMatrix DenseMatrix::TransposeMultiply(const DenseMatrix& other) const {
   AMALUR_CHECK_EQ(rows_, other.rows_) << "gemm(Aᵀ,B) shape mismatch";
   DenseMatrix out(cols_, other.cols_);
   const size_t m = cols_, k = rows_, n = other.cols_;
-  for (size_t p = 0; p < k; ++p) {
-    const double* a_row = RowPtr(p);
-    const double* b_row = other.RowPtr(p);
-    for (size_t i = 0; i < m; ++i) {
-      const double a = a_row[i];
-      double* out_row = out.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+  // Partitioning the *output* rows (this-columns) instead of the shared k
+  // extent keeps writes disjoint — no per-thread accumulators or merge — and
+  // every out element still sums its k-terms in ascending order, so the
+  // result is bitwise-equal to the serial kernel at any thread count. Each
+  // chunk streams all of `other` but only its own column band of `this`.
+  common::ParallelFor(0, m, 8, [&](size_t col_begin, size_t col_end) {
+    for (size_t p = 0; p < k; ++p) {
+      const double* a_row = RowPtr(p);
+      const double* b_row = other.RowPtr(p);
+      for (size_t i = col_begin; i < col_end; ++i) {
+        const double a = a_row[i];
+        double* out_row = out.RowPtr(i);
+        for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
 DenseMatrix DenseMatrix::MultiplyTranspose(const DenseMatrix& other) const {
   AMALUR_CHECK_EQ(cols_, other.cols_) << "gemm(A,Bᵀ) shape mismatch";
   DenseMatrix out(rows_, other.rows_);
-  const size_t m = rows_, k = cols_, n = other.rows_;
-  for (size_t i = 0; i < m; ++i) {
-    const double* a_row = RowPtr(i);
-    double* out_row = out.RowPtr(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* b_row = other.RowPtr(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
+  const size_t k = cols_, n = other.rows_;
+  common::ParallelFor(0, rows_, 8, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* a_row = RowPtr(i);
+      double* out_row = out.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) {
+        const double* b_row = other.RowPtr(j);
+        double acc = 0.0;
+        for (size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        out_row[j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
 DenseMatrix DenseMatrix::Transpose() const {
   DenseMatrix out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    for (size_t j = 0; j < cols_; ++j) out.data_[j * rows_ + i] = row[j];
-  }
+  // Partition output rows: chunk writes are disjoint and contiguous.
+  common::ParallelFor(0, cols_, 16, [&](size_t col_begin, size_t col_end) {
+    for (size_t j = col_begin; j < col_end; ++j) {
+      double* out_row = out.RowPtr(j);
+      for (size_t i = 0; i < rows_; ++i) out_row[i] = data_[i * cols_ + j];
+    }
+  });
   return out;
 }
 
@@ -177,39 +203,93 @@ DenseMatrix DenseMatrix::Map(const std::function<double(double)>& f) const {
 }
 
 void DenseMatrix::MapInPlace(const std::function<double(double)>& f) {
+  // Deliberately serial: callers may pass stateful functors (accumulating
+  // side channels), which the parallel TransformInPlace would race on.
   for (double& v : data_) v = f(v);
 }
 
 DenseMatrix DenseMatrix::RowSums() const {
   DenseMatrix out(rows_, 1);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < cols_; ++j) acc += row[j];
-    out.data_[i] = acc;
-  }
+  const size_t grain = std::max<size_t>(1, kReduceGrain / std::max<size_t>(cols_, 1));
+  common::ParallelFor(0, rows_, grain, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* row = RowPtr(i);
+      double acc = 0.0;
+      for (size_t j = 0; j < cols_; ++j) acc += row[j];
+      out.data_[i] = acc;
+    }
+  });
   return out;
 }
 
 DenseMatrix DenseMatrix::ColSums() const {
   DenseMatrix out(1, cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    for (size_t j = 0; j < cols_; ++j) out.data_[j] += row[j];
+  // Per-chunk partial row vectors merged in chunk order: each column still
+  // accumulates its rows in ascending-chunk order, run-stable at a given
+  // thread count.
+  const size_t grain = std::max<size_t>(1, kReduceGrain / std::max<size_t>(cols_, 1));
+  const size_t num_chunks = common::ParallelChunkCount(rows_, grain);
+  if (num_chunks <= 1) {
+    for (size_t i = 0; i < rows_; ++i) {
+      const double* row = RowPtr(i);
+      for (size_t j = 0; j < cols_; ++j) out.data_[j] += row[j];
+    }
+    return out;
+  }
+  std::vector<DenseMatrix> partials(num_chunks);
+  common::ParallelForChunks(
+      0, rows_, grain, [&](size_t chunk, size_t row_begin, size_t row_end) {
+        DenseMatrix partial(1, cols_);
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* row = RowPtr(i);
+          for (size_t j = 0; j < cols_; ++j) partial.data_[j] += row[j];
+        }
+        partials[chunk] = std::move(partial);
+      });
+  for (const DenseMatrix& partial : partials) {
+    if (!partial.empty()) out.AddInPlace(partial);
   }
   return out;
 }
 
 double DenseMatrix::Sum() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v;
-  return acc;
+  const size_t num_chunks = common::ParallelChunkCount(data_.size(), kReduceGrain);
+  if (num_chunks <= 1) {
+    double acc = 0.0;
+    for (double v : data_) acc += v;
+    return acc;
+  }
+  std::vector<double> partials(num_chunks, 0.0);
+  common::ParallelForChunks(
+      0, data_.size(), kReduceGrain,
+      [&](size_t chunk, size_t begin, size_t end) {
+        double acc = 0.0;
+        for (size_t i = begin; i < end; ++i) acc += data_[i];
+        partials[chunk] = acc;
+      });
+  double total = 0.0;
+  for (double partial : partials) total += partial;  // fixed chunk order
+  return total;
 }
 
 double DenseMatrix::FrobeniusNorm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return std::sqrt(acc);
+  const size_t num_chunks = common::ParallelChunkCount(data_.size(), kReduceGrain);
+  if (num_chunks <= 1) {
+    double acc = 0.0;
+    for (double v : data_) acc += v * v;
+    return std::sqrt(acc);
+  }
+  std::vector<double> partials(num_chunks, 0.0);
+  common::ParallelForChunks(
+      0, data_.size(), kReduceGrain,
+      [&](size_t chunk, size_t begin, size_t end) {
+        double acc = 0.0;
+        for (size_t i = begin; i < end; ++i) acc += data_[i] * data_[i];
+        partials[chunk] = acc;
+      });
+  double total = 0.0;
+  for (double partial : partials) total += partial;
+  return std::sqrt(total);
 }
 
 double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "common/rng.h"
 
 /// \file dense_matrix.h
@@ -93,10 +94,27 @@ class DenseMatrix {
   /// `this += factor * other` (axpy).
   void AddScaled(const DenseMatrix& other, double factor);
 
-  /// Applies `f` to every element, returning a new matrix.
+  /// Applies `f` to every element, returning a new matrix. Serial, and `f`
+  /// may be stateful; hot paths with a pure `f` use `TransformInPlace`.
   DenseMatrix Map(const std::function<double(double)>& f) const;
-  /// Applies `f` to every element in place.
+  /// Applies `f` to every element in place. Serial, and `f` may be stateful.
   void MapInPlace(const std::function<double(double)>& f);
+
+  /// Hot-path variant of `MapInPlace`: `f` is a functor/lambda inlined at
+  /// the call site (no `std::function` virtual-call per element) and the
+  /// loop runs parallel over disjoint element ranges — `f` must therefore be
+  /// pure (no shared mutable state). Cold or stateful callers keep using the
+  /// `std::function` API above.
+  template <typename F>
+  void TransformInPlace(F f) {
+    double* data = data_.data();
+    common::ParallelFor(0, data_.size(), size_t{1} << 13,
+                        [data, &f](size_t begin, size_t end) {
+                          for (size_t i = begin; i < end; ++i) {
+                            data[i] = f(data[i]);
+                          }
+                        });
+  }
 
   /// Per-row sums as an rows()x1 column vector.
   DenseMatrix RowSums() const;

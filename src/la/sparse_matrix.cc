@@ -4,8 +4,15 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel_for.h"
+
 namespace amalur {
 namespace la {
+
+namespace {
+// Minimum CSR/dense rows per ParallelFor chunk for the SpMM kernels.
+constexpr size_t kSpmmGrain = 64;
+}  // namespace
 
 SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
                                         std::vector<Triplet> triplets) {
@@ -80,14 +87,17 @@ DenseMatrix SparseMatrix::Multiply(const DenseMatrix& dense) const {
   AMALUR_CHECK_EQ(cols_, dense.rows()) << "spmm shape mismatch";
   DenseMatrix out(rows_, dense.cols());
   const size_t n = dense.cols();
-  for (size_t i = 0; i < rows_; ++i) {
-    double* out_row = out.RowPtr(i);
-    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-      const double v = values_[p];
-      const double* d_row = dense.RowPtr(col_indices_[p]);
-      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+  // Chunks own disjoint CSR (= output) row ranges: bitwise-equal to serial.
+  common::ParallelFor(0, rows_, kSpmmGrain, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      double* out_row = out.RowPtr(i);
+      for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+        const double v = values_[p];
+        const double* d_row = dense.RowPtr(col_indices_[p]);
+        for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -95,13 +105,37 @@ DenseMatrix SparseMatrix::TransposeMultiply(const DenseMatrix& dense) const {
   AMALUR_CHECK_EQ(rows_, dense.rows()) << "spmmᵀ shape mismatch";
   DenseMatrix out(cols_, dense.cols());
   const size_t n = dense.cols();
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* d_row = dense.RowPtr(i);
-    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-      const double v = values_[p];
-      double* out_row = out.RowPtr(col_indices_[p]);
-      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+  // The scatter by column index spans all output rows, so chunks over the
+  // CSR rows accumulate into per-chunk scatter buffers merged in fixed chunk
+  // order — run-stable at a given thread count.
+  const size_t num_chunks = common::ParallelChunkCount(rows_, kSpmmGrain);
+  if (num_chunks <= 1) {
+    for (size_t i = 0; i < rows_; ++i) {
+      const double* d_row = dense.RowPtr(i);
+      for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+        const double v = values_[p];
+        double* out_row = out.RowPtr(col_indices_[p]);
+        for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+      }
     }
+    return out;
+  }
+  std::vector<DenseMatrix> partials(num_chunks);
+  common::ParallelForChunks(
+      0, rows_, kSpmmGrain, [&](size_t chunk, size_t row_begin, size_t row_end) {
+        DenseMatrix partial(cols_, n);
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* d_row = dense.RowPtr(i);
+          for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+            const double v = values_[p];
+            double* out_row = partial.RowPtr(col_indices_[p]);
+            for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+          }
+        }
+        partials[chunk] = std::move(partial);
+      });
+  for (const DenseMatrix& partial : partials) {
+    if (!partial.empty()) out.AddInPlace(partial);
   }
   return out;
 }
@@ -109,34 +143,41 @@ DenseMatrix SparseMatrix::TransposeMultiply(const DenseMatrix& dense) const {
 DenseMatrix SparseMatrix::LeftMultiply(const DenseMatrix& dense) const {
   AMALUR_CHECK_EQ(dense.cols(), rows_) << "dense*sparse shape mismatch";
   DenseMatrix out(dense.rows(), cols_);
-  for (size_t i = 0; i < dense.rows(); ++i) {
-    const double* d_row = dense.RowPtr(i);
-    double* out_row = out.RowPtr(i);
-    for (size_t r = 0; r < rows_; ++r) {
-      const double d = d_row[r];
-      if (d == 0.0) continue;
-      for (size_t p = row_offsets_[r]; p < row_offsets_[r + 1]; ++p) {
-        out_row[col_indices_[p]] += d * values_[p];
-      }
-    }
-  }
+  // Disjoint output rows per chunk: bitwise-equal to serial.
+  common::ParallelFor(
+      0, dense.rows(), 4, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* d_row = dense.RowPtr(i);
+          double* out_row = out.RowPtr(i);
+          for (size_t r = 0; r < rows_; ++r) {
+            const double d = d_row[r];
+            if (d == 0.0) continue;
+            for (size_t p = row_offsets_[r]; p < row_offsets_[r + 1]; ++p) {
+              out_row[col_indices_[p]] += d * values_[p];
+            }
+          }
+        }
+      });
   return out;
 }
 
 DenseMatrix SparseMatrix::LeftMultiplyTranspose(const DenseMatrix& dense) const {
   AMALUR_CHECK_EQ(dense.cols(), cols_) << "dense*sparseᵀ shape mismatch";
   DenseMatrix out(dense.rows(), rows_);
-  for (size_t i = 0; i < dense.rows(); ++i) {
-    const double* d_row = dense.RowPtr(i);
-    double* out_row = out.RowPtr(i);
-    for (size_t r = 0; r < rows_; ++r) {
-      double acc = 0.0;
-      for (size_t p = row_offsets_[r]; p < row_offsets_[r + 1]; ++p) {
-        acc += d_row[col_indices_[p]] * values_[p];
-      }
-      out_row[r] = acc;
-    }
-  }
+  common::ParallelFor(
+      0, dense.rows(), 4, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* d_row = dense.RowPtr(i);
+          double* out_row = out.RowPtr(i);
+          for (size_t r = 0; r < rows_; ++r) {
+            double acc = 0.0;
+            for (size_t p = row_offsets_[r]; p < row_offsets_[r + 1]; ++p) {
+              acc += d_row[col_indices_[p]] * values_[p];
+            }
+            out_row[r] = acc;
+          }
+        }
+      });
   return out;
 }
 

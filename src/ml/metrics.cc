@@ -52,7 +52,11 @@ double BinaryAccuracy(const la::DenseMatrix& probabilities,
 }
 
 la::DenseMatrix Sigmoid(const la::DenseMatrix& x) {
-  return x.Map([](double v) {
+  // Statically-dispatched (and parallel) transform instead of Map's
+  // std::function-per-element: this is the logistic-regression training hot
+  // path, applied to every prediction every iteration.
+  la::DenseMatrix out = x;
+  out.TransformInPlace([](double v) {
     // Branching form avoids overflow in exp for large |v|.
     if (v >= 0) {
       const double e = std::exp(-v);
@@ -61,6 +65,7 @@ la::DenseMatrix Sigmoid(const la::DenseMatrix& x) {
     const double e = std::exp(v);
     return e / (1.0 + e);
   });
+  return out;
 }
 
 }  // namespace ml

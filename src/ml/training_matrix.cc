@@ -1,16 +1,21 @@
 #include "ml/training_matrix.h"
 
+#include "common/parallel_for.h"
+
 namespace amalur {
 namespace ml {
 
 la::DenseMatrix MaterializedMatrix::RowSquaredNorms() const {
   la::DenseMatrix out(data_.rows(), 1);
-  for (size_t i = 0; i < data_.rows(); ++i) {
-    const double* row = data_.RowPtr(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < data_.cols(); ++j) acc += row[j] * row[j];
-    out.At(i, 0) = acc;
-  }
+  common::ParallelFor(
+      0, data_.rows(), 256, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* row = data_.RowPtr(i);
+          double acc = 0.0;
+          for (size_t j = 0; j < data_.cols(); ++j) acc += row[j] * row[j];
+          out.At(i, 0) = acc;
+        }
+      });
   return out;
 }
 
@@ -18,13 +23,16 @@ la::DenseMatrix SparseMaterializedMatrix::RowSquaredNorms() const {
   la::DenseMatrix out(data_.rows(), 1);
   const auto& offsets = data_.row_offsets();
   const auto& values = data_.values();
-  for (size_t i = 0; i < data_.rows(); ++i) {
-    double acc = 0.0;
-    for (size_t p = offsets[i]; p < offsets[i + 1]; ++p) {
-      acc += values[p] * values[p];
-    }
-    out.At(i, 0) = acc;
-  }
+  common::ParallelFor(
+      0, data_.rows(), 256, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          double acc = 0.0;
+          for (size_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+            acc += values[p] * values[p];
+          }
+          out.At(i, 0) = acc;
+        }
+      });
   return out;
 }
 
