@@ -1,14 +1,20 @@
-// Reproduces paper Table I as a performance experiment: for each of the four
-// dataset relationships (full outer join, inner join, left join, union) the
-// harness runs the full pipeline — automatic integration through the Amalur
-// facade, then factorized vs materialized training forced through the same
-// Train path — and prints per-scenario timings, the measured winner and the
-// optimizer's prediction. The paper's qualitative claim: factorization wins
-// where integration duplicates data (join fan-out), materialization wins
-// where it does not (unions, 1:1 joins).
+// Reproduces paper Table I as a performance experiment: for each dataset
+// relationship — the four pairwise relationships (full outer join, inner
+// join, left join, union) plus the two graph shapes the edge-list spec
+// unlocks (snowflake, union-of-stars) — the harness runs the full pipeline:
+// automatic integration through the Amalur facade, then factorized vs
+// materialized training forced through the same Train path. It prints
+// per-scenario timings, the measured winner and the optimizer's prediction,
+// and emits machine-readable `BENCH_table1.json` so the decision quality
+// and perf trajectory can be tracked across commits. The paper's
+// qualitative claim: factorization wins where integration duplicates data
+// (join fan-out, chained or sharded), materialization wins where it does
+// not (unions, 1:1 joins).
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/amalur.h"
@@ -20,13 +26,48 @@ namespace {
 
 using namespace amalur;
 
-struct ScenarioRow {
-  const char* name;
-  rel::SiloPairSpec spec;
+/// A fully prepared scenario: its own facade instance with the sources
+/// registered and the integration derived.
+struct PreparedScenario {
+  std::string name;  // table label
+  std::string slug;  // json identifier
+  std::unique_ptr<core::Amalur> system;
+  core::IntegrationHandle integration;
 };
 
-std::vector<ScenarioRow> MakeScenarios() {
-  std::vector<ScenarioRow> rows;
+core::Amalur* NewSystem(std::vector<PreparedScenario>* out,
+                        const char* name, const char* slug) {
+  // Generic short column names (x0, z0, u0...) need strong evidence to
+  // match; a stricter threshold keeps the key match and rejects noise.
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  out->push_back({name, slug, std::make_unique<core::Amalur>(options), {}});
+  return out->back().system.get();
+}
+
+void FinishScenario(std::vector<PreparedScenario>* out,
+                    const core::IntegrationSpec& spec) {
+  auto integration = out->back().system->Integrate(spec);
+  AMALUR_CHECK(integration.ok()) << integration.status();
+  out->back().integration = *std::move(integration);
+}
+
+std::vector<PreparedScenario> MakeScenarios() {
+  std::vector<PreparedScenario> out;
+
+  const auto pair_scenario = [&out](const char* name, const char* slug,
+                                    const rel::SiloPairSpec& spec) {
+    core::Amalur* system = NewSystem(&out, name, slug);
+    rel::SiloPair pair = rel::GenerateSiloPair(spec);
+    AMALUR_CHECK_OK(
+        system->catalog()->RegisterSource({"S1", pair.base, "silo-1", false}));
+    AMALUR_CHECK_OK(
+        system->catalog()->RegisterSource({"S2", pair.other, "silo-2", false}));
+    core::IntegrationSpec integration_spec;
+    integration_spec.sources = {"S1", "S2"};
+    integration_spec.relationships = {spec.kind};
+    FinishScenario(&out, integration_spec);
+  };
 
   // Example 1: full outer join — partially overlapping rows and columns
   // (feature augmentation / general FL).
@@ -41,7 +82,7 @@ std::vector<ScenarioRow> MakeScenarios() {
     spec.match_fraction = 0.5;
     spec.row_overlap = 0.5;
     spec.seed = 11;
-    rows.push_back({"1 full outer join", spec});
+    pair_scenario("1 full outer join", "full_outer_join", spec);
   }
   // Example 2: inner join — shared sample space (VFL).
   {
@@ -54,7 +95,7 @@ std::vector<ScenarioRow> MakeScenarios() {
     spec.match_fraction = 1.0;
     spec.row_overlap = 1.0;
     spec.seed = 12;
-    rows.push_back({"2 inner join     ", spec});
+    pair_scenario("2 inner join     ", "inner_join", spec);
   }
   // Example 3: left join with fan-out — the classic feature-augmentation
   // star schema (only the base holds the label).
@@ -66,7 +107,7 @@ std::vector<ScenarioRow> MakeScenarios() {
     spec.base_features = 2;
     spec.other_features = 60;
     spec.seed = 13;
-    rows.push_back({"3 left join      ", spec});
+    pair_scenario("3 left join      ", "left_join", spec);
   }
   // Example 4: union — shared feature space, disjoint rows (HFL).
   {
@@ -81,9 +122,52 @@ std::vector<ScenarioRow> MakeScenarios() {
     spec.row_overlap = 0.0;
     spec.other_has_label = true;
     spec.seed = 14;
-    rows.push_back({"4 union          ", spec});
+    pair_scenario("4 union          ", "union", spec);
   }
-  return rows;
+  // Example 5: snowflake — fact -> dim -> sub-dim chain; redundancy
+  // compounds along the composed fan-out (edge-list spec form).
+  {
+    rel::SnowflakeSpec spec;
+    spec.fact_rows = 40000;
+    spec.fact_features = 2;
+    spec.level_rows = {2000, 50};
+    spec.level_features = {30, 20};
+    spec.seed = 15;
+    rel::Snowflake snowflake = rel::GenerateSnowflake(spec);
+    core::Amalur* system = NewSystem(&out, "5 snowflake      ", "snowflake");
+    for (const rel::Table& table : snowflake.tables) {
+      AMALUR_CHECK_OK(
+          system->catalog()->RegisterSource({table.name(), table, "", false}));
+    }
+    core::IntegrationSpec integration_spec;
+    integration_spec.edges = {{"fact", "dim0", rel::JoinKind::kLeftJoin},
+                              {"dim0", "dim1", rel::JoinKind::kLeftJoin}};
+    FinishScenario(&out, integration_spec);
+  }
+  // Example 6: union-of-stars — two horizontally partitioned fact shards,
+  // each a star with its own dimension (edge-list spec form).
+  {
+    rel::UnionOfStarsSpec spec;
+    spec.shards = 2;
+    spec.fact_rows = 20000;
+    spec.fact_features = 2;
+    spec.dim_rows = 1000;
+    spec.dim_features = 30;
+    spec.seed = 16;
+    rel::UnionOfStars scenario = rel::GenerateUnionOfStars(spec);
+    core::Amalur* system =
+        NewSystem(&out, "6 union of stars ", "union_of_stars");
+    for (const rel::Table& table : scenario.tables) {
+      AMALUR_CHECK_OK(
+          system->catalog()->RegisterSource({table.name(), table, "", false}));
+    }
+    core::IntegrationSpec integration_spec;
+    integration_spec.edges = {{"fact0", "dim0", rel::JoinKind::kLeftJoin},
+                              {"fact0", "fact1", rel::JoinKind::kUnion},
+                              {"fact1", "dim1", rel::JoinKind::kLeftJoin}};
+    FinishScenario(&out, integration_spec);
+  }
+  return out;
 }
 
 /// Trains under a forced strategy `repeats` times and returns the median
@@ -103,6 +187,44 @@ double MedianTrainSeconds(core::Amalur* system,
   return seconds[seconds.size() / 2];
 }
 
+struct Measurement {
+  std::string scenario;
+  std::string shape;
+  double factorized_seconds = 0.0;
+  double materialized_seconds = 0.0;
+  std::string measured;   // measured winner
+  std::string predicted;  // optimizer's choice
+  size_t target_rows = 0;
+  size_t target_cols = 0;
+};
+
+void WriteJson(const std::vector<Measurement>& measurements,
+               const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::fprintf(out,
+                 "  {\"scenario\": \"%s\", \"shape\": \"%s\", "
+                 "\"factorized_seconds\": %.6f, \"materialized_seconds\": "
+                 "%.6f, \"speedup\": %.3f, \"measured\": \"%s\", "
+                 "\"predicted\": \"%s\", \"target_rows\": %zu, "
+                 "\"target_cols\": %zu}%s\n",
+                 m.scenario.c_str(), m.shape.c_str(), m.factorized_seconds,
+                 m.materialized_seconds,
+                 m.materialized_seconds / std::max(m.factorized_seconds, 1e-12),
+                 m.measured.c_str(), m.predicted.c_str(), m.target_rows,
+                 m.target_cols,
+                 i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+}
+
 }  // namespace
 
 int main() {
@@ -115,56 +237,56 @@ int main() {
   std::printf("(GD linear regression, %zu iterations; medians of 3 runs;\n"
               " each scenario integrated through Amalur::Integrate(spec))\n\n",
               kIterations);
-  std::printf("%-18s %10s %10s %8s %9s %9s %10s\n", "scenario", "fact (s)",
-              "mat (s)", "speedup", "measured", "amalur", "T shape");
+  std::printf("%-18s %10s %10s %8s %9s %9s %10s %15s\n", "scenario",
+              "fact (s)", "mat (s)", "speedup", "measured", "amalur",
+              "T shape", "graph");
 
-  for (const ScenarioRow& row : MakeScenarios()) {
-    rel::SiloPair pair = rel::GenerateSiloPair(row.spec);
-
-    // Generic short column names (x0, z0, s0...) need strong evidence to
-    // match; a stricter threshold keeps the key match and rejects noise.
-    core::AmalurOptions system_options;
-    system_options.matcher.threshold = 0.75;
-    core::Amalur system(system_options);
-    AMALUR_CHECK_OK(
-        system.catalog()->RegisterSource({"S1", pair.base, "silo-1", false}));
-    AMALUR_CHECK_OK(
-        system.catalog()->RegisterSource({"S2", pair.other, "silo-2", false}));
-
-    core::IntegrationSpec spec;
-    spec.sources = {"S1", "S2"};
-    spec.relationships = {row.spec.kind};
-    auto integration = system.Integrate(spec);
-    AMALUR_CHECK(integration.ok()) << integration.status();
-
+  std::vector<Measurement> measurements;
+  for (PreparedScenario& scenario : MakeScenarios()) {
     core::TrainRequest request;
     request.label_column = "y";
     request.gd.iterations = kIterations;
     request.gd.learning_rate = 0.05;
 
-    const double fact_seconds = MedianTrainSeconds(
-        &system, *integration, request, core::ExecutionStrategy::kFactorize, 3);
+    const double fact_seconds =
+        MedianTrainSeconds(scenario.system.get(), scenario.integration,
+                           request, core::ExecutionStrategy::kFactorize, 3);
     const double mat_seconds =
-        MedianTrainSeconds(&system, *integration, request,
-                           core::ExecutionStrategy::kMaterialize, 3);
+        MedianTrainSeconds(scenario.system.get(), scenario.integration,
+                           request, core::ExecutionStrategy::kMaterialize, 3);
 
-    const cost::CostFeatures features =
-        cost::CostFeatures::FromMetadata(integration->metadata);
+    const metadata::DiMetadata& md = scenario.integration.metadata;
+    const cost::CostFeatures features = cost::CostFeatures::FromMetadata(md);
+    Measurement m;
+    m.scenario = scenario.slug;
+    m.shape = metadata::IntegrationShapeToString(md.shape());
+    m.factorized_seconds = fact_seconds;
+    m.materialized_seconds = mat_seconds;
+    m.measured = cost::StrategyToString(fact_seconds < mat_seconds
+                                            ? cost::Strategy::kFactorize
+                                            : cost::Strategy::kMaterialize);
+    m.predicted = cost::StrategyToString(model.Decide(features));
+    m.target_rows = md.target_rows();
+    m.target_cols = md.target_cols();
+    measurements.push_back(m);
+
     char shape[32];
-    std::snprintf(shape, sizeof(shape), "%zux%zu",
-                  integration->metadata.target_rows(),
-                  integration->metadata.target_cols());
-    std::printf("%-18s %10.3f %10.3f %7.2fx %9s %9s %10s\n", row.name,
-                fact_seconds, mat_seconds,
+    std::snprintf(shape, sizeof(shape), "%zux%zu", md.target_rows(),
+                  md.target_cols());
+    std::printf("%-18s %10.3f %10.3f %7.2fx %9s %9s %10s %15s\n",
+                scenario.name.c_str(), fact_seconds, mat_seconds,
                 mat_seconds / std::max(fact_seconds, 1e-12),
-                cost::StrategyToString(fact_seconds < mat_seconds
-                                           ? cost::Strategy::kFactorize
-                                           : cost::Strategy::kMaterialize),
-                cost::StrategyToString(model.Decide(features)), shape);
+                m.measured.c_str(), m.predicted.c_str(), shape,
+                m.shape.c_str());
   }
+
+  WriteJson(measurements, "BENCH_table1.json");
   std::printf(
-      "\nExpected shape (paper §IV): factorization wins where integration\n"
-      "duplicates source data (fan-out joins); materialization wins for\n"
-      "unions and 1:1 joins (Example IV.1's full-tgd prescreen).\n");
+      "\nWrote BENCH_table1.json (%zu scenarios).\n"
+      "Expected shape (paper §IV): factorization wins where integration\n"
+      "duplicates source data (fan-out joins, chained or sharded);\n"
+      "materialization wins for unions and 1:1 joins (Example IV.1's\n"
+      "full-tgd prescreen).\n",
+      measurements.size());
   return 0;
 }

@@ -1,9 +1,11 @@
 #include "core/amalur.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "common/string_util.h"
+#include "factorized/factorized_table.h"
 #include "ml/linear_models.h"
 #include "ml/metrics.h"
 #include "ml/training_matrix.h"
@@ -57,43 +59,83 @@ class NameClaimer {
   std::set<std::string> used_;
 };
 
-/// Normalizes a spec: validates shape, resolves `star_base` to position 0
-/// and broadcasts a single relationship over all edges.
-Result<IntegrationSpec> NormalizeSpec(const IntegrationSpec& spec) {
-  IntegrationSpec out = spec;
-  if (out.sources.size() < 2) {
-    return Status::InvalidArgument("an integration needs >= 2 sources, got ",
-                                   out.sources.size());
-  }
-  std::set<std::string> unique(out.sources.begin(), out.sources.end());
-  if (unique.size() != out.sources.size()) {
-    return Status::InvalidArgument("duplicate source in integration spec");
-  }
-  if (!out.star_base.empty()) {
-    auto it = std::find(out.sources.begin(), out.sources.end(), out.star_base);
-    if (it == out.sources.end()) {
-      return Status::InvalidArgument("star base '", out.star_base,
-                                     "' is not among the spec's sources");
+/// A spec reduced to canonical form plus its validated graph plan.
+struct NormalizedSpec {
+  /// Sources in topological order, edges filled, relationships per edge.
+  IntegrationSpec spec;
+  IntegrationGraphPlan plan;
+};
+
+/// Normalizes a spec into its edge-list form and plans the graph. The flat
+/// `sources`/`relationships` form is validated as before (star base rotated
+/// to position 0, a single relationship broadcast over all edges, stars
+/// restricted to left joins) and then lowered into edges off the base; an
+/// explicit edge list goes straight to the graph planner, which enforces
+/// connectivity, acyclicity and the one-fact-root/union placement rules
+/// with precise error messages.
+Result<NormalizedSpec> NormalizeSpec(const IntegrationSpec& spec) {
+  NormalizedSpec out;
+  if (!spec.edges.empty()) {
+    if (!spec.star_base.empty()) {
+      return Status::InvalidArgument(
+          "star_base applies to the flat sources/relationships form only; "
+          "an edge list already fixes the fact root");
     }
-    std::rotate(out.sources.begin(), it, it + 1);
-  }
-  const size_t edges = out.sources.size() - 1;
-  if (out.relationships.size() == 1) {
-    out.relationships.assign(edges, out.relationships[0]);
-  } else if (out.relationships.size() != edges) {
-    return Status::InvalidArgument("expected one relationship per edge (",
-                                   edges, " edges) or a single broadcast "
-                                   "relationship, got ",
-                                   out.relationships.size());
-  }
-  if (out.sources.size() > 2) {
-    for (rel::JoinKind kind : out.relationships) {
-      if (kind != rel::JoinKind::kLeftJoin) {
-        return Status::InvalidArgument(
-            "star integrations (>= 3 sources) require the left-join "
-            "relationship on every edge, got ", rel::JoinKindToString(kind));
+    AMALUR_ASSIGN_OR_RETURN(out.plan,
+                            PlanIntegrationGraph(spec.edges, spec.sources));
+  } else {
+    IntegrationSpec flat = spec;
+    if (flat.sources.size() < 2) {
+      return Status::InvalidArgument("an integration needs >= 2 sources, got ",
+                                     flat.sources.size());
+    }
+    std::set<std::string> unique(flat.sources.begin(), flat.sources.end());
+    if (unique.size() != flat.sources.size()) {
+      return Status::InvalidArgument("duplicate source in integration spec");
+    }
+    if (!flat.star_base.empty()) {
+      auto it =
+          std::find(flat.sources.begin(), flat.sources.end(), flat.star_base);
+      if (it == flat.sources.end()) {
+        return Status::InvalidArgument("star base '", flat.star_base,
+                                       "' is not among the spec's sources");
+      }
+      std::rotate(flat.sources.begin(), it, it + 1);
+    }
+    const size_t edges = flat.sources.size() - 1;
+    if (flat.relationships.size() == 1) {
+      flat.relationships.assign(edges, flat.relationships[0]);
+    } else if (flat.relationships.size() != edges) {
+      return Status::InvalidArgument("expected one relationship per edge (",
+                                     edges, " edges) or a single broadcast "
+                                     "relationship, got ",
+                                     flat.relationships.size());
+    }
+    if (flat.sources.size() > 2) {
+      for (rel::JoinKind kind : flat.relationships) {
+        if (kind != rel::JoinKind::kLeftJoin) {
+          return Status::InvalidArgument(
+              "star integrations (>= 3 sources) require the left-join "
+              "relationship on every edge, got ", rel::JoinKindToString(kind),
+              "; use the edge-list spec form for mixed-relationship graphs");
+        }
       }
     }
+    std::vector<IntegrationEdge> lowered;
+    for (size_t e = 0; e < edges; ++e) {
+      lowered.push_back(
+          {flat.sources[0], flat.sources[e + 1], flat.relationships[e]});
+    }
+    AMALUR_ASSIGN_OR_RETURN(out.plan,
+                            PlanIntegrationGraph(lowered, flat.sources));
+  }
+  out.spec = spec;
+  out.spec.star_base.clear();
+  out.spec.sources = out.plan.sources;
+  out.spec.edges = out.plan.edges;
+  out.spec.relationships.clear();
+  for (const IntegrationEdge& edge : out.plan.edges) {
+    out.spec.relationships.push_back(edge.kind);
   }
   return out;
 }
@@ -110,12 +152,26 @@ Result<IntegrationHandle> Amalur::Integrate(const std::string& base_name,
 }
 
 Result<IntegrationHandle> Amalur::Integrate(const IntegrationSpec& spec) {
-  AMALUR_ASSIGN_OR_RETURN(IntegrationSpec normalized, NormalizeSpec(spec));
-  Result<IntegrationHandle> handle =
-      normalized.sources.size() == 2 ? IntegratePair(normalized)
-                                     : IntegrateStar(normalized);
-  if (handle.ok() && !normalized.name.empty()) {
-    AMALUR_RETURN_NOT_OK(catalog_.RegisterIntegration(*handle));
+  AMALUR_ASSIGN_OR_RETURN(NormalizedSpec normalized, NormalizeSpec(spec));
+  Result<IntegrationHandle> handle = [&]() -> Result<IntegrationHandle> {
+    switch (normalized.plan.shape) {
+      case metadata::IntegrationShape::kPairwise:
+        return IntegratePair(normalized.spec);
+      case metadata::IntegrationShape::kStar:
+        // The unchanged fast path: depth-1 left joins off one base.
+        return IntegrateStar(normalized.spec);
+      case metadata::IntegrationShape::kSnowflake:
+      case metadata::IntegrationShape::kUnionOfStars:
+        return IntegrateGraph(normalized.spec, normalized.plan);
+    }
+    return Status::Internal("unreachable integration shape");
+  }();
+  if (handle.ok()) {
+    handle->edges = normalized.plan.edges;
+    handle->shape = normalized.plan.shape;
+    if (!normalized.spec.name.empty()) {
+      AMALUR_RETURN_NOT_OK(catalog_.RegisterIntegration(*handle));
+    }
   }
   return handle;
 }
@@ -406,6 +462,188 @@ Result<IntegrationHandle> Amalur::IntegrateStar(const IntegrationSpec& spec) {
   return handle;
 }
 
+Result<IntegrationHandle> Amalur::IntegrateGraph(
+    const IntegrationSpec& spec, const IntegrationGraphPlan& plan) {
+  const size_t n_sources = plan.sources.size();
+  std::vector<const SourceEntry*> entries(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    AMALUR_ASSIGN_OR_RETURN(entries[k], catalog_.GetSource(plan.sources[k]));
+  }
+
+  IntegrationHandle handle;
+  handle.name = spec.name;
+  handle.source_names = plan.sources;
+  handle.edges = plan.edges;
+  handle.shape = plan.shape;
+  for (const SourceEntry* entry : entries) {
+    handle.privacy_constrained |= entry->privacy_sensitive;
+  }
+
+  // ---- 1. Per-edge schema matching and key discovery, walking the tree in
+  // topological order. Join edges need a key (or ER evidence) between
+  // parent and child; union edges need overlapping columns to merge. A
+  // node's key columns — from *any* incident edge — never become features.
+  struct EdgePlan {
+    std::vector<std::string> parent_keys;  // numeric surrogate keys
+    std::vector<std::string> child_keys;
+    /// child column index -> matched parent column index (merged features).
+    std::map<size_t, size_t> merged;
+    std::vector<integration::SourceColumnMatch> source_matches;
+  };
+  const size_t n_edges = plan.metadata_edges.size();
+  std::vector<EdgePlan> edge_plans(n_edges);
+  std::vector<std::set<std::string>> key_columns(n_sources);
+  for (size_t e = 0; e < n_edges; ++e) {
+    const metadata::MetadataEdge& edge = plan.metadata_edges[e];
+    const rel::Table& parent = entries[edge.parent]->table;
+    const rel::Table& child = entries[edge.child]->table;
+    std::vector<integration::ColumnMatch> matches =
+        integration::MatchSchemas(parent, child, options_.matcher);
+    catalog_.StoreColumnMatches(plan.sources[edge.parent],
+                                plan.sources[edge.child], matches);
+    if (matches.empty()) {
+      if (edge.kind == rel::JoinKind::kUnion) {
+        return Status::FailedPrecondition(
+            "no column matches between fact shards '",
+            plan.sources[edge.parent], "' and '", plan.sources[edge.child],
+            "'; a union edge needs overlapping columns");
+      }
+      return Status::FailedPrecondition(
+          "no column matches between '", plan.sources[edge.parent],
+          "' and '", plan.sources[edge.child],
+          "'; a join edge needs a shared key column");
+    }
+    for (const integration::ColumnMatch& match : matches) {
+      const rel::Column& left = parent.column(match.left_column);
+      const rel::Column& right = child.column(match.right_column);
+      if (!IsNumeric(left)) {
+        edge_plans[e].source_matches.push_back(
+            {edge.parent, left.name(), edge.child, right.name()});
+      } else if (IsIdLikePair(left, right)) {
+        // Surrogate keys: join evidence on join edges; on union edges they
+        // are still excluded from the feature space (keys poison models)
+        // and recorded as inter-shard correspondence.
+        key_columns[edge.parent].insert(left.name());
+        key_columns[edge.child].insert(right.name());
+        edge_plans[e].source_matches.push_back(
+            {edge.parent, left.name(), edge.child, right.name()});
+        if (edge.kind == rel::JoinKind::kLeftJoin) {
+          edge_plans[e].parent_keys.push_back(left.name());
+          edge_plans[e].child_keys.push_back(right.name());
+        }
+      } else {
+        edge_plans[e].merged[match.right_column] = match.left_column;
+      }
+    }
+    handle.edge_matches.push_back(std::move(matches));
+  }
+
+  // ---- 2. Target-schema synthesis in topological order: each node's
+  // non-key numeric columns either merge into the target column of the
+  // parent column they matched (overlapping features across a join edge;
+  // shared shard columns across a union edge) or claim a fresh target
+  // column. A column matched to a parent *key* (which has no target column)
+  // stays a feature of its own rather than silently dropping.
+  std::vector<int64_t> parent_edge_of(n_sources, -1);
+  for (size_t e = 0; e < n_edges; ++e) {
+    parent_edge_of[plan.metadata_edges[e].child] = static_cast<int64_t>(e);
+  }
+  NameClaimer names;
+  std::vector<rel::Field> target_fields;
+  std::vector<std::vector<integration::ColumnCorrespondence>> corr(n_sources);
+  std::vector<std::vector<std::string>> target_name_of(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    const rel::Table& table = entries[k]->table;
+    target_name_of[k].assign(table.NumColumns(), "");
+    const int64_t pe = parent_edge_of[k];
+    for (size_t j = 0; j < table.NumColumns(); ++j) {
+      const rel::Column& column = table.column(j);
+      if (!IsNumeric(column) || key_columns[k].count(column.name()) > 0) {
+        continue;
+      }
+      if (pe >= 0) {
+        const EdgePlan& eplan = edge_plans[static_cast<size_t>(pe)];
+        auto merged = eplan.merged.find(j);
+        if (merged != eplan.merged.end()) {
+          const size_t parent = plan.metadata_edges[static_cast<size_t>(pe)].parent;
+          const std::string& parent_target =
+              target_name_of[parent][merged->second];
+          if (!parent_target.empty()) {
+            corr[k].push_back({column.name(), parent_target});
+            target_name_of[k][j] = parent_target;
+            continue;
+          }
+        }
+      }
+      const std::string target_name = names.Claim(column.name());
+      target_fields.push_back({target_name, column.type(), true});
+      corr[k].push_back({column.name(), target_name});
+      target_name_of[k][j] = target_name;
+    }
+  }
+  if (target_fields.empty()) {
+    return Status::FailedPrecondition("no numeric columns to integrate");
+  }
+
+  std::vector<integration::SchemaMapping::SourceSpec> source_specs;
+  std::vector<integration::SourceColumnMatch> source_matches;
+  for (size_t k = 0; k < n_sources; ++k) {
+    source_specs.push_back({plan.sources[k], entries[k]->table.schema(),
+                            std::move(corr[k])});
+  }
+  for (const EdgePlan& eplan : edge_plans) {
+    source_matches.insert(source_matches.end(), eplan.source_matches.begin(),
+                          eplan.source_matches.end());
+  }
+  const rel::JoinKind mapping_kind =
+      plan.shape == metadata::IntegrationShape::kUnionOfStars
+          ? rel::JoinKind::kUnion
+          : rel::JoinKind::kLeftJoin;
+  AMALUR_ASSIGN_OR_RETURN(
+      handle.mapping,
+      integration::SchemaMapping::Create(
+          mapping_kind, std::move(source_specs),
+          rel::Schema(std::move(target_fields)), std::move(source_matches)));
+
+  // ---- 3. Row matching per join edge (exact keys when a surrogate key was
+  // discovered, fuzzy entity resolution otherwise); union edges match no
+  // rows and keep an empty placeholder so matchings stay parallel to edges.
+  for (size_t e = 0; e < n_edges; ++e) {
+    const metadata::MetadataEdge& edge = plan.metadata_edges[e];
+    rel::RowMatching matching;
+    if (edge.kind == rel::JoinKind::kLeftJoin) {
+      const rel::Table& parent = entries[edge.parent]->table;
+      const rel::Table& child = entries[edge.child]->table;
+      if (!edge_plans[e].parent_keys.empty()) {
+        AMALUR_ASSIGN_OR_RETURN(
+            matching,
+            rel::MatchRowsOnKeys(parent, child, edge_plans[e].parent_keys,
+                                 edge_plans[e].child_keys));
+      } else {
+        AMALUR_ASSIGN_OR_RETURN(
+            matching,
+            integration::ResolveEntities(parent, child, handle.edge_matches[e],
+                                         options_.resolver));
+      }
+      catalog_.StoreRowMatching(plan.sources[edge.parent],
+                                plan.sources[edge.child], matching);
+    }
+    handle.matchings.push_back(std::move(matching));
+  }
+
+  // ---- 4. Metadata for the whole graph: composed fan-out indicators along
+  // snowflake chains, stacked shard blocks for union-of-stars.
+  std::vector<const rel::Table*> tables;
+  tables.reserve(n_sources);
+  for (const SourceEntry* entry : entries) tables.push_back(&entry->table);
+  AMALUR_ASSIGN_OR_RETURN(
+      handle.metadata,
+      metadata::DiMetadata::DeriveGraph(handle.mapping, tables,
+                                        plan.metadata_edges,
+                                        handle.matchings));
+  return handle;
+}
+
 Plan Amalur::Explain(const IntegrationHandle& integration) const {
   return Optimizer(options_.cost)
       .Choose(integration.metadata, integration.privacy_constrained);
@@ -427,7 +665,7 @@ Result<ModelHandle> Amalur::Train(const IntegrationHandle& integration,
         std::string("forced to ") +
         ExecutionStrategyToString(*request.force_strategy) +
         " by the request (optimizer chose " +
-        ExecutionStrategyToString(plan.strategy) + ")";
+        ExecutionStrategyToString(plan.strategy) + "); " + plan.explanation;
     plan.strategy = *request.force_strategy;
   }
   Executor executor;
@@ -447,6 +685,18 @@ Result<ModelHandle> Amalur::Train(const IntegrationHandle& integration,
   model.source_names_ = integration.source_names;
   model.plan_ = plan;
   model.outcome_ = std::move(outcome);
+  // In-sample serving state: factorized plans reuse the exact view training
+  // ran over; other plans keep a metadata copy (the handle must outlive the
+  // integration) and materialize on demand — no row-class plans are built
+  // for them. The label position was validated by the executor.
+  model.label_index_ =
+      *integration.metadata.target_schema().IndexOf(request.label_column);
+  if (model.outcome_.factorized_table != nullptr) {
+    model.factorized_table_ = model.outcome_.factorized_table;
+  } else {
+    model.metadata_ =
+        std::make_shared<const metadata::DiMetadata>(integration.metadata);
+  }
 
   if (!model_name.empty()) {
     ModelEntry entry;
@@ -481,13 +731,40 @@ Result<la::DenseMatrix> ModelHandle::Predict(const rel::Table& data) const {
   return ml::PredictLinear(matrix, outcome_.weights);
 }
 
-Result<EvaluationReport> ModelHandle::Evaluate(const rel::Table& data) const {
-  AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix predictions, Predict(data));
-  AMALUR_ASSIGN_OR_RETURN(size_t label_index, data.ColumnIndex(label_column_));
-  AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix labels,
-                          data.ToMatrix({label_index}));
+la::DenseMatrix ModelHandle::PredictFactorized() const {
+  // Silo pushdown: the LMM runs over the source matrices through the same
+  // training-matrix view the trainer used — no rT x cT intermediate.
+  const ml::FactorizedFeatures features(factorized_table_, label_index_);
+  return task_ == TrainingTask::kLogisticRegression
+             ? ml::PredictLogistic(features, outcome_.weights)
+             : ml::PredictLinear(features, outcome_.weights);
+}
+
+la::DenseMatrix ModelHandle::PredictDense(const la::DenseMatrix& target) const {
+  std::vector<size_t> feature_cols;
+  for (size_t j = 0; j < target.cols(); ++j) {
+    if (j != label_index_) feature_cols.push_back(j);
+  }
+  const ml::MaterializedMatrix features(target.SelectColumns(feature_cols));
+  return task_ == TrainingTask::kLogisticRegression
+             ? ml::PredictLogistic(features, outcome_.weights)
+             : ml::PredictLinear(features, outcome_.weights);
+}
+
+Result<la::DenseMatrix> ModelHandle::Predict() const {
+  if (factorized_table_ != nullptr) return PredictFactorized();
+  if (metadata_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this model handle carries no integration data; train it through "
+        "Amalur::Train or predict over a relational table");
+  }
+  return PredictDense(metadata_->MaterializeTargetMatrix());
+}
+
+EvaluationReport ModelHandle::Score(const la::DenseMatrix& predictions,
+                                    const la::DenseMatrix& labels) const {
   EvaluationReport report;
-  report.rows = data.NumRows();
+  report.rows = predictions.rows();
   report.mse = ml::MeanSquaredError(predictions, labels);
   if (task_ == TrainingTask::kLogisticRegression) {
     report.log_loss = ml::LogLoss(predictions, labels);
@@ -497,6 +774,31 @@ Result<EvaluationReport> ModelHandle::Evaluate(const rel::Table& data) const {
     report.primary = report.mse;
   }
   return report;
+}
+
+Result<EvaluationReport> ModelHandle::Evaluate(const rel::Table& data) const {
+  AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix predictions, Predict(data));
+  AMALUR_ASSIGN_OR_RETURN(size_t label_index, data.ColumnIndex(label_column_));
+  AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix labels,
+                          data.ToMatrix({label_index}));
+  return Score(predictions, labels);
+}
+
+Result<EvaluationReport> ModelHandle::Evaluate() const {
+  if (factorized_table_ != nullptr) {
+    // One cheap factorized LMM extracts the label column from the silos.
+    return Score(
+        PredictFactorized(),
+        ml::FactorizedFeatures(factorized_table_, label_index_).Labels());
+  }
+  if (metadata_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this model handle carries no integration data; train it through "
+        "Amalur::Train or evaluate over a relational table");
+  }
+  // Materialize once; slice features and label from the same matrix.
+  const la::DenseMatrix target = metadata_->MaterializeTargetMatrix();
+  return Score(PredictDense(target), target.SelectColumns({label_index_}));
 }
 
 }  // namespace core

@@ -1,12 +1,14 @@
 #ifndef AMALUR_CORE_AMALUR_H_
 #define AMALUR_CORE_AMALUR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/catalog.h"
 #include "core/executor.h"
+#include "core/integration_graph.h"
 #include "core/optimizer.h"
 #include "cost/amalur_cost_model.h"
 #include "integration/entity_resolution.h"
@@ -16,37 +18,46 @@
 /// \file amalur.h
 /// The Amalur system facade — the end-to-end pipeline of Figure 3. Users
 /// register silo tables, describe *what* to integrate with an
-/// `IntegrationSpec` (two sources or an n-ary star), and the system runs
-/// automatic schema matching → target-schema synthesis → tgd generation →
-/// row matching → metadata derivation. Training returns a `ModelHandle`
-/// that serves predictions and evaluations on new relational data; the
-/// optimizer's choice of factorized, materialized or federated execution is
-/// inspectable through `Explain`.
+/// `IntegrationSpec` — either a flat source list (two sources or an n-ary
+/// star) or an explicit **integration graph**: a list of
+/// `core::IntegrationEdge`s forming a tree of left joins and unions, which
+/// unlocks snowflake schemas (dimension-of-dimension chains) and
+/// union-of-stars scenarios (horizontally partitioned fact shards, each
+/// with its own dimensions). The system validates and topologically orders
+/// the graph, then runs automatic schema matching → target-schema
+/// synthesis → tgd generation → row matching → metadata derivation per
+/// edge. Training returns a `ModelHandle` that serves predictions and
+/// evaluations — in-sample through the factorized runtime when the plan
+/// was factorized, or on new relational data; the optimizer's choice of
+/// factorized, materialized or federated execution (and the graph's shape)
+/// is inspectable through `Explain`.
 ///
 ///     core::Amalur amalur;
-///     amalur.catalog()->RegisterSource({"S1", s1, "hospital-er", false});
-///     amalur.catalog()->RegisterSource({"S2", s2, "pulmonary", false});
+///     amalur.catalog()->RegisterSource({"claims",  claims,  "dept", false});
+///     amalur.catalog()->RegisterSource({"patients", patients, "reg", false});
+///     amalur.catalog()->RegisterSource({"regions", regions, "geo", false});
 ///
 ///     core::IntegrationSpec spec;
-///     spec.name = "er-pulmonary";        // registered in the catalog
-///     spec.sources = {"S1", "S2"};
-///     spec.relationships = {rel::JoinKind::kFullOuterJoin};
+///     spec.name = "claims-snowflake";    // registered in the catalog
+///     spec.edges = {{"claims", "patients", rel::JoinKind::kLeftJoin},
+///                   {"patients", "regions", rel::JoinKind::kLeftJoin}};
 ///     auto integration = amalur.Integrate(spec);
 ///
 ///     core::TrainRequest request;
-///     request.task = core::TrainingTask::kLogisticRegression;
-///     request.label_column = "m";
-///     auto model = amalur.Train(*integration, request, "mortality-model");
+///     request.label_column = "cost";
+///     auto model = amalur.Train(*integration, request, "cost-model");
+///     auto in_sample = model->Predict();          // factorized serving
 ///     auto report = model->Evaluate(holdout_table);
-///     core::Plan plan = amalur.Explain(*model);   // strategy + cost estimate
+///     core::Plan plan = amalur.Explain(*model);   // strategy + shape + cost
 ///
 /// Handle lifetime: `IntegrationHandle` and `ModelHandle` are self-contained
 /// value objects — they copy everything they need (derived metadata,
-/// weights), so they remain valid across catalog mutations and even after
-/// the `Amalur` instance is destroyed. Handles stored in the catalog under a
-/// name (`IntegrationSpec::name`, the `model_name` argument of `Train`) are
-/// copies too; `Catalog::GetIntegration`/`GetModel` pointers stay valid
-/// until the catalog itself is destroyed.
+/// weights, the training-time factorized view), so they remain valid across
+/// catalog mutations and even after the `Amalur` instance is destroyed.
+/// Handles stored in the catalog under a name (`IntegrationSpec::name`, the
+/// `model_name` argument of `Train`) are copies too;
+/// `Catalog::GetIntegration`/`GetModel` pointers stay valid until the
+/// catalog itself is destroyed.
 
 namespace amalur {
 namespace core {
@@ -59,27 +70,43 @@ struct AmalurOptions {
 };
 
 /// Declarative description of one integration scenario: which registered
-/// sources participate and how their rows relate (Table I).
+/// sources participate and how their rows relate (Table I). Two equivalent
+/// forms exist — the explicit edge list (`edges`, the general form) and the
+/// flat `sources`/`relationships` list (a convenience that lowers into
+/// edges hanging off one base).
 struct IntegrationSpec {
   /// Optional catalog name. Non-empty → the resulting handle is registered
   /// via `Catalog::RegisterIntegration` (unique names, `kAlreadyExists` on
   /// re-use) and can be fetched later with `Catalog::GetIntegration`.
   std::string name;
 
-  /// Ordered names of >= 2 registered sources. The first entry is the base
-  /// table (the running example's S1; the fact table of a star) unless
-  /// `star_base` overrides it. Two sources run the pairwise pipeline; three
-  /// or more run the star derivation (base left-joined to each dimension).
+  /// **Edge-list form.** When non-empty, the integration is this graph: a
+  /// tree of `kLeftJoin` edges (parent retained, child dimension — chains
+  /// allowed, which is how snowflake schemas are expressed) and `kUnion`
+  /// edges (sibling fact shards — union-of-stars). A single edge of any
+  /// relationship runs the pairwise pipeline. The graph must be connected
+  /// and acyclic with one fact root; violations return precise
+  /// `kInvalidArgument` messages. When `edges` is set, `relationships` is
+  /// ignored, `star_base` must be empty (the edge list already fixes the
+  /// root), and `sources` (if non-empty) merely declares the expected
+  /// participant set.
+  std::vector<IntegrationEdge> edges;
+
+  /// **Flat form** (used when `edges` is empty). Ordered names of >= 2
+  /// registered sources. The first entry is the base table (the running
+  /// example's S1; the fact table of a star) unless `star_base` overrides
+  /// it. Two sources run the pairwise pipeline; three or more lower into a
+  /// star (base left-joined to each dimension).
   std::vector<std::string> sources;
 
-  /// Dataset relationship per edge (base, sources[i+1]): either exactly one
-  /// entry, applied to every edge, or sources.size()-1 entries. Star
-  /// scenarios (>= 3 sources) require `kLeftJoin` on every edge — the
-  /// base-retained relationship `DiMetadata::DeriveStar` implements.
+  /// Flat form only: dataset relationship per edge (base, sources[i+1]) —
+  /// either exactly one entry, applied to every edge, or sources.size()-1
+  /// entries. Star scenarios (>= 3 sources) require `kLeftJoin` on every
+  /// edge; use the edge-list form for mixed-relationship graphs.
   std::vector<rel::JoinKind> relationships = {rel::JoinKind::kInnerJoin};
 
-  /// Optional: name of the source to use as the star base / pairwise base.
-  /// Must be an element of `sources`; empty means `sources[0]`.
+  /// Flat form only: name of the source to use as the star base / pairwise
+  /// base. Must be an element of `sources`; empty means `sources[0]`.
   std::string star_base;
 };
 
@@ -132,12 +159,31 @@ class ModelHandle {
   /// present in `data` by name; the label column is not required.
   Result<la::DenseMatrix> Predict(const rel::Table& data) const;
 
+  /// Scores the integration's own target rows (in-sample serving, rT x 1)
+  /// without the caller materializing anything: models whose executed plan
+  /// was factorized run the factorized LMM straight over the silo matrices
+  /// (the training-matrix path — the target table is never built); other
+  /// plans materialize the dense feature matrix first.
+  Result<la::DenseMatrix> Predict() const;
+
   /// Predicts over `data` and scores against its label column (which must
   /// be present under `label_column()`).
   Result<EvaluationReport> Evaluate(const rel::Table& data) const;
 
+  /// In-sample evaluation against the target's label column, routed through
+  /// the factorized runtime exactly like the no-argument `Predict()`.
+  Result<EvaluationReport> Evaluate() const;
+
  private:
   friend class Amalur;
+
+  /// Fills the task-dependent metric report for `predictions` vs `labels`.
+  EvaluationReport Score(const la::DenseMatrix& predictions,
+                         const la::DenseMatrix& labels) const;
+  /// Factorized in-sample scoring (requires `factorized_table_`).
+  la::DenseMatrix PredictFactorized() const;
+  /// Dense in-sample scoring over an already-materialized target matrix.
+  la::DenseMatrix PredictDense(const la::DenseMatrix& target) const;
 
   std::string name_;
   TrainingTask task_ = TrainingTask::kLinearRegression;
@@ -146,6 +192,13 @@ class ModelHandle {
   std::vector<std::string> source_names_;
   Plan plan_;
   TrainOutcome outcome_;
+  /// In-sample serving state: factorized-plan models share the exact view
+  /// the executor trained over; other plans keep one copy of the derived
+  /// metadata (no row-class plans built) and materialize on demand.
+  /// Exactly one of the two is set by `Train`.
+  std::shared_ptr<const factorized::FactorizedTable> factorized_table_;
+  std::shared_ptr<const metadata::DiMetadata> metadata_;
+  size_t label_index_ = 0;
 };
 
 /// The system facade.
@@ -156,20 +209,28 @@ class Amalur {
   Catalog* catalog() { return &catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
-  /// Runs the automatic integration pipeline over the spec's sources.
+  /// Runs the automatic integration pipeline over the spec's graph. The
+  /// spec's edge set (explicit, or lowered from the flat form) is validated
+  /// (connected, acyclic, one fact root), topologically ordered and
+  /// dispatched by shape:
   ///
-  /// Two sources: schema matching, target-schema synthesis (matched numeric
-  /// columns merge into one target column; source-private numeric columns
-  /// carry over; string columns and surrogate keys serve as join evidence
-  /// only), tgd generation for the edge's relationship, row matching
-  /// (exact-key when a surrogate key was discovered, fuzzy entity resolution
-  /// otherwise), and two-source metadata derivation.
-  ///
-  /// Three or more sources (a star): per-dimension schema matching against
-  /// the base discovers the join keys, the target schema collects the
-  /// base's and every dimension's non-key numeric columns, and
-  /// `DiMetadata::DeriveStar` produces one indicator/mapping/redundancy
-  /// triple per silo. Every edge must be `kLeftJoin`.
+  ///  * **Pairwise** (one edge, any relationship): schema matching,
+  ///    target-schema synthesis (matched numeric columns merge into one
+  ///    target column; source-private numeric columns carry over; string
+  ///    columns and surrogate keys serve as join evidence only), tgd
+  ///    generation, row matching (exact-key when a surrogate key was
+  ///    discovered, fuzzy entity resolution otherwise), two-source
+  ///    metadata derivation.
+  ///  * **Star** (depth-1 left joins): per-dimension schema matching
+  ///    against the base discovers the join keys and
+  ///    `DiMetadata::DeriveStar` produces one indicator/mapping/redundancy
+  ///    triple per silo — the unchanged fast path.
+  ///  * **Snowflake** (chained left joins): per-edge matching walks the
+  ///    dimension chains and `DiMetadata::DeriveGraph` composes the
+  ///    matchings so the factorized runtime sees one fan-out per silo.
+  ///  * **Union-of-stars** (`kUnion` edges between fact shards): shard
+  ///    columns matched across union edges merge into shared target
+  ///    columns, and the shards' row blocks stack into one target.
   ///
   /// Edge artifacts (column matches, row matchings) are cached in the
   /// catalog per source pair; when `spec.name` is non-empty the whole
@@ -201,6 +262,8 @@ class Amalur {
  private:
   Result<IntegrationHandle> IntegratePair(const IntegrationSpec& spec);
   Result<IntegrationHandle> IntegrateStar(const IntegrationSpec& spec);
+  Result<IntegrationHandle> IntegrateGraph(const IntegrationSpec& spec,
+                                           const IntegrationGraphPlan& plan);
 
   AmalurOptions options_;
   Catalog catalog_;

@@ -35,6 +35,18 @@
 namespace amalur {
 namespace core {
 
+/// One edge of an integration graph: how the rows of two registered sources
+/// relate. `left` is the retained/parent side (a fact table or an upstream
+/// dimension), `right` the child. Join kinds: `kLeftJoin` attaches a
+/// dimension (snowflake chains allowed — a dimension may itself be a
+/// `left`); `kUnion` stacks a sibling fact shard; `kInnerJoin` and
+/// `kFullOuterJoin` are valid only on single-edge (pairwise) specs.
+struct IntegrationEdge {
+  std::string left;
+  std::string right;
+  rel::JoinKind kind = rel::JoinKind::kLeftJoin;
+};
+
 /// One registered data source (a silo's table).
 struct SourceEntry {
   std::string name;
@@ -53,14 +65,21 @@ struct SourceEntry {
 struct IntegrationHandle {
   /// Catalog registration name; empty for ad-hoc (unregistered) handles.
   std::string name;
-  /// Participating sources in order; element 0 is the base (fact) table.
+  /// Participating sources in topological order; element 0 is the fact root
+  /// (the base of pairwise scenarios).
   std::vector<std::string> source_names;
+  /// The integration graph's edges in topological order (parents before
+  /// children). Pairwise scenarios have one edge; specs given in the legacy
+  /// `sources`/`relationships` form are lowered into edges here.
+  std::vector<IntegrationEdge> edges;
+  /// Structural shape of the graph (also reported by `Amalur::Explain`).
+  metadata::IntegrationShape shape = metadata::IntegrationShape::kPairwise;
   /// Schema-matching output per edge: `edge_matches[i]` relates
-  /// `source_names[0]` to `source_names[i + 1]`.
+  /// `edges[i].left` to `edges[i].right`.
   std::vector<std::vector<integration::ColumnMatch>> edge_matches;
   integration::SchemaMapping mapping;
   /// Row matchings per edge, same indexing as `edge_matches` (entries are
-  /// empty for union scenarios, which match no rows).
+  /// empty for union edges, which match no rows).
   std::vector<rel::RowMatching> matchings;
   metadata::DiMetadata metadata;
   /// True when any participating source forbids data movement.

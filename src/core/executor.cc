@@ -64,6 +64,7 @@ Result<TrainOutcome> Executor::Run(const metadata::DiMetadata& metadata,
       ml::LinearModel model = TrainOver(features, labels, request);
       outcome.weights = std::move(model.weights);
       outcome.loss_history = std::move(model.loss_history);
+      outcome.factorized_table = std::move(table);
       break;
     }
     case ExecutionStrategy::kMaterialize: {

@@ -1,12 +1,14 @@
 #ifndef AMALUR_CORE_EXECUTOR_H_
 #define AMALUR_CORE_EXECUTOR_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/optimizer.h"
+#include "factorized/factorized_table.h"
 #include "federated/vfl.h"
 #include "metadata/di_metadata.h"
 #include "ml/linear_models.h"
@@ -66,6 +68,11 @@ struct TrainOutcome {
   /// the pool's capacity. Chunk-geometry determinism follows the *requested*
   /// count; this field reports the execution width.
   size_t threads_used = 1;
+  /// The factorized view the training run executed over (factorized plans
+  /// only; null otherwise). `Amalur::Train` hands it to the model handle so
+  /// in-sample serving reuses the silo-pushdown path instead of
+  /// materializing features densely.
+  std::shared_ptr<const factorized::FactorizedTable> factorized_table;
 };
 
 /// Executes plans against derived metadata.

@@ -1,0 +1,52 @@
+#ifndef AMALUR_CORE_INTEGRATION_GRAPH_H_
+#define AMALUR_CORE_INTEGRATION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/catalog.h"
+#include "metadata/di_metadata.h"
+
+/// \file integration_graph.h
+/// The graph planner behind the edge-list `IntegrationSpec`: validates an
+/// edge set (connected, acyclic, one fact root, unions only between fact
+/// shards), classifies its shape (pairwise / star / snowflake /
+/// union-of-stars) and emits a topological plan — sources ordered root
+/// first, shard-major, with every edge's parent preceding its child — the
+/// exact layout `DiMetadata::DeriveGraph` requires.
+
+namespace amalur {
+namespace core {
+
+/// A validated, topologically ordered integration graph.
+struct IntegrationGraphPlan {
+  /// Sources in topological order: the fact root first, each shard's fact
+  /// before its dimension subtree, shards in union order.
+  std::vector<std::string> sources;
+  /// The edges reordered so parents precede children (depth-first from the
+  /// root: join children before union siblings).
+  std::vector<IntegrationEdge> edges;
+  /// The same edges with endpoints resolved to indices into `sources`.
+  std::vector<metadata::MetadataEdge> metadata_edges;
+  metadata::IntegrationShape shape = metadata::IntegrationShape::kPairwise;
+
+  /// The fact root's name (== sources[0]).
+  const std::string& root() const { return sources.front(); }
+};
+
+/// Validates `edges` and plans the traversal. `declared_sources`, when
+/// non-empty, is the spec's explicit source list: every edge endpoint must
+/// appear in it and every declared source must be reached by an edge.
+/// Malformed graphs return `kInvalidArgument` with a precise message
+/// (self-loop, duplicate edge, unknown source, several parents, cycle,
+/// disconnected graph, union under a dimension, non-pairwise inner/full
+/// outer edges).
+Result<IntegrationGraphPlan> PlanIntegrationGraph(
+    const std::vector<IntegrationEdge>& edges,
+    const std::vector<std::string>& declared_sources);
+
+}  // namespace core
+}  // namespace amalur
+
+#endif  // AMALUR_CORE_INTEGRATION_GRAPH_H_

@@ -18,9 +18,16 @@ const char* ExecutionStrategyToString(ExecutionStrategy strategy) {
 Plan Optimizer::Choose(const metadata::DiMetadata& metadata,
                        bool privacy_constrained) const {
   Plan plan;
+  // Every explanation leads with the scenario's graph shape — pairwise,
+  // star, snowflake or union-of-stars — so `Explain` callers see what kind
+  // of integration the decision was made for.
+  const std::string shape_prefix =
+      std::string("graph shape: ") +
+      metadata::IntegrationShapeToString(metadata.shape()) + "; ";
   if (privacy_constrained) {
     plan.strategy = ExecutionStrategy::kFederate;
     plan.explanation =
+        shape_prefix +
         "privacy constraint: source data may not leave its silo; the "
         "learning process is split across silos";
     return plan;
@@ -30,7 +37,7 @@ Plan Optimizer::Choose(const metadata::DiMetadata& metadata,
   plan.strategy = plan.estimate.Decision() == cost::Strategy::kFactorize
                       ? ExecutionStrategy::kFactorize
                       : ExecutionStrategy::kMaterialize;
-  plan.explanation = cost_model_.Explain(features);
+  plan.explanation = shape_prefix + cost_model_.Explain(features);
   return plan;
 }
 

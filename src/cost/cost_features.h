@@ -49,6 +49,13 @@ struct SourceFeatures {
 /// The full feature vector for one integration scenario.
 struct CostFeatures {
   rel::JoinKind kind = rel::JoinKind::kInnerJoin;
+  /// Graph shape of the scenario (pairwise / star / snowflake /
+  /// union-of-stars) — the structural input behind the per-shape estimates.
+  metadata::IntegrationShape shape = metadata::IntegrationShape::kPairwise;
+  /// Horizontally stacked fact shards (1 unless union-of-stars).
+  size_t num_shards = 1;
+  /// Longest fact-to-leaf key-join chain (>= 2 for snowflakes).
+  size_t join_depth = 1;
   size_t target_rows = 0;
   size_t target_cols = 0;
   std::vector<SourceFeatures> sources;

@@ -1,9 +1,39 @@
 #include "factorized/scenario_builder.h"
 
+#include <set>
+
 #include "relational/join.h"
 
 namespace amalur {
 namespace factorized {
+
+namespace {
+
+/// Numeric non-key columns of `table`, in schema order — the columns a
+/// graph scenario carries into the target under their own names.
+std::vector<std::string> FeatureColumns(const rel::Table& table,
+                                        const std::set<std::string>& keys) {
+  std::vector<std::string> out;
+  for (size_t j = 0; j < table.NumColumns(); ++j) {
+    const rel::Column& column = table.column(j);
+    if (column.type() == rel::DataType::kString || keys.count(column.name())) {
+      continue;
+    }
+    out.push_back(column.name());
+  }
+  return out;
+}
+
+/// Identity correspondences for `columns`.
+std::vector<integration::ColumnCorrespondence> SelfCorrespondences(
+    const std::vector<std::string>& columns) {
+  std::vector<integration::ColumnCorrespondence> corr;
+  corr.reserve(columns.size());
+  for (const std::string& name : columns) corr.push_back({name, name});
+  return corr;
+}
+
+}  // namespace
 
 Result<integration::SchemaMapping> BuildPairMapping(const rel::SiloPair& pair) {
   std::vector<std::string> target_names{"y"};
@@ -45,6 +75,95 @@ Result<metadata::DiMetadata> DerivePairMetadata(const rel::SiloPair& pair) {
   }
   return metadata::DiMetadata::Derive(mapping, {&pair.base, &pair.other},
                                       matching);
+}
+
+Result<metadata::DiMetadata> DeriveSnowflakeMetadata(
+    const rel::Snowflake& snowflake) {
+  const size_t n = snowflake.tables.size();
+  const std::set<std::string> keys(snowflake.chain_keys.begin(),
+                                   snowflake.chain_keys.end());
+
+  std::vector<std::string> target_names;
+  std::vector<integration::SchemaMapping::SourceSpec> sources;
+  std::vector<integration::SourceColumnMatch> source_matches;
+  std::vector<metadata::MetadataEdge> edges;
+  std::vector<rel::RowMatching> matchings;
+  for (size_t k = 0; k < n; ++k) {
+    const rel::Table& table = snowflake.tables[k];
+    const std::vector<std::string> features = FeatureColumns(table, keys);
+    target_names.insert(target_names.end(), features.begin(), features.end());
+    sources.push_back(
+        {table.name(), table.schema(), SelfCorrespondences(features)});
+    if (k + 1 < n) {
+      const std::string& key = snowflake.chain_keys[k];
+      source_matches.push_back({k, key, k + 1, key});
+      edges.push_back({k, k + 1, rel::JoinKind::kLeftJoin});
+      AMALUR_ASSIGN_OR_RETURN(
+          rel::RowMatching matching,
+          rel::MatchRowsOnKeys(table, snowflake.tables[k + 1], {key}, {key}));
+      matchings.push_back(std::move(matching));
+    }
+  }
+  AMALUR_ASSIGN_OR_RETURN(
+      integration::SchemaMapping mapping,
+      integration::SchemaMapping::Create(
+          rel::JoinKind::kLeftJoin, std::move(sources),
+          rel::Schema::AllDouble(target_names), std::move(source_matches)));
+  std::vector<const rel::Table*> tables;
+  for (const rel::Table& table : snowflake.tables) tables.push_back(&table);
+  return metadata::DiMetadata::DeriveGraph(mapping, tables, edges, matchings);
+}
+
+Result<metadata::DiMetadata> DeriveUnionOfStarsMetadata(
+    const rel::UnionOfStars& scenario) {
+  const size_t shards = scenario.spec.shards;
+  std::set<std::string> keys;
+  for (size_t s = 0; s < shards; ++s) {
+    keys.insert("dim" + std::to_string(s) + "_id");
+  }
+
+  // Shard facts share their y/x correspondences (one target column each);
+  // every dimension's private features follow in shard order.
+  std::vector<std::string> target_names;
+  std::vector<integration::SchemaMapping::SourceSpec> sources(2 * shards);
+  std::vector<integration::SourceColumnMatch> source_matches;
+  std::vector<metadata::MetadataEdge> edges;
+  std::vector<rel::RowMatching> matchings;
+  for (size_t s = 0; s < shards; ++s) {
+    const rel::Table& fact = scenario.tables[2 * s];
+    const rel::Table& dim = scenario.tables[2 * s + 1];
+    const std::vector<std::string> fact_features = FeatureColumns(fact, keys);
+    if (s == 0) {
+      target_names.insert(target_names.end(), fact_features.begin(),
+                          fact_features.end());
+    }
+    sources[2 * s] = {fact.name(), fact.schema(),
+                      SelfCorrespondences(fact_features)};
+    const std::vector<std::string> dim_features = FeatureColumns(dim, keys);
+    target_names.insert(target_names.end(), dim_features.begin(),
+                        dim_features.end());
+    sources[2 * s + 1] = {dim.name(), dim.schema(),
+                          SelfCorrespondences(dim_features)};
+
+    const std::string key = "dim" + std::to_string(s) + "_id";
+    source_matches.push_back({2 * s, key, 2 * s + 1, key});
+    if (s > 0) {
+      edges.push_back({0, 2 * s, rel::JoinKind::kUnion});
+      matchings.emplace_back();
+    }
+    edges.push_back({2 * s, 2 * s + 1, rel::JoinKind::kLeftJoin});
+    AMALUR_ASSIGN_OR_RETURN(rel::RowMatching matching,
+                            rel::MatchRowsOnKeys(fact, dim, {key}, {key}));
+    matchings.push_back(std::move(matching));
+  }
+  AMALUR_ASSIGN_OR_RETURN(
+      integration::SchemaMapping mapping,
+      integration::SchemaMapping::Create(
+          rel::JoinKind::kUnion, std::move(sources),
+          rel::Schema::AllDouble(target_names), std::move(source_matches)));
+  std::vector<const rel::Table*> tables;
+  for (const rel::Table& table : scenario.tables) tables.push_back(&table);
+  return metadata::DiMetadata::DeriveGraph(mapping, tables, edges, matchings);
 }
 
 }  // namespace factorized

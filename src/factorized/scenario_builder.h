@@ -7,10 +7,11 @@
 #include "relational/generator.h"
 
 /// \file scenario_builder.h
-/// Glue for experiments: given a generated `SiloPair`, construct the schema
-/// mapping of its Table I relationship, recover the ground-truth row matching
-/// from the entity key, and derive the DI metadata. Benches and tests build
-/// factorized/materialized pipelines from the same scenario object.
+/// Glue for experiments: given a generated scenario (a `SiloPair`, a
+/// `Snowflake` chain or a `UnionOfStars`), construct the schema mapping of
+/// its relationship graph, recover the ground-truth row matchings from the
+/// surrogate keys, and derive the DI metadata. Benches and tests build
+/// factorized/materialized pipelines from the same scenario objects.
 
 namespace amalur {
 namespace factorized {
@@ -22,6 +23,20 @@ Result<integration::SchemaMapping> BuildPairMapping(const rel::SiloPair& pair);
 
 /// Full pipeline: mapping + ground-truth key matching + metadata derivation.
 Result<metadata::DiMetadata> DerivePairMetadata(const rel::SiloPair& pair);
+
+/// Full pipeline for a generated snowflake: chained left-join mapping
+/// (target schema = y, fact features, then each level's features; the
+/// `dim<i>_id` keys are join variables only), ground-truth key matchings per
+/// chain edge, and `DiMetadata::DeriveGraph` with its composed indicators.
+Result<metadata::DiMetadata> DeriveSnowflakeMetadata(
+    const rel::Snowflake& snowflake);
+
+/// Full pipeline for a generated union-of-stars: union mapping over the
+/// shard facts (shared y/x columns merge into one target column each; every
+/// shard dimension contributes its private features), key matchings per
+/// star edge, and `DiMetadata::DeriveGraph` with its stacked shard blocks.
+Result<metadata::DiMetadata> DeriveUnionOfStarsMetadata(
+    const rel::UnionOfStars& scenario);
 
 }  // namespace factorized
 }  // namespace amalur

@@ -1,5 +1,6 @@
 #include "metadata/di_metadata.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "integration/entity_resolution.h"
@@ -39,7 +40,58 @@ Status BuildColumns(const integration::SchemaMapping& mapping, size_t k,
   return Status::OK();
 }
 
+/// Shared tail of every derivation: given the per-source CI vectors, builds
+/// D_k, CM_k, I_k and R_k for each source and appends them to `metadata`.
+/// The redundancy chain follows source order (earlier sources cover later
+/// ones), so callers must list the retained/base sources first.
+Status FillSources(const integration::SchemaMapping& mapping,
+                   const std::vector<const rel::Table*>& tables,
+                   const std::vector<std::vector<int64_t>>& ci,
+                   std::vector<SourceMetadata>* sources) {
+  const size_t n_sources = tables.size();
+  std::vector<CompressedMapping> mappings;
+  std::vector<CompressedIndicator> indicators;
+  std::vector<la::DenseMatrix> data(n_sources);
+  std::vector<std::vector<std::string>> names(n_sources);
+  std::vector<std::vector<size_t>> schema_cols(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    std::vector<int64_t> cm;
+    AMALUR_RETURN_NOT_OK(BuildColumns(mapping, k, *tables[k], &data[k],
+                                      &names[k], &cm, &schema_cols[k]));
+    mappings.emplace_back(std::move(cm), data[k].cols());
+    indicators.emplace_back(ci[k], data[k].rows());
+  }
+  for (size_t k = 0; k < n_sources; ++k) {
+    SourceMetadata source{
+        mapping.source(k).name,
+        std::move(data[k]),
+        std::move(names[k]),
+        mappings[k],
+        indicators[k],
+        RedundancyMask::Derive(k, indicators, mappings),
+        tables[k]->Project(schema_cols[k]).NullRatio(),
+        integration::DuplicateRatio(*tables[k], schema_cols[k]),
+    };
+    sources->push_back(std::move(source));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+const char* IntegrationShapeToString(IntegrationShape shape) {
+  switch (shape) {
+    case IntegrationShape::kPairwise:
+      return "pairwise";
+    case IntegrationShape::kStar:
+      return "star";
+    case IntegrationShape::kSnowflake:
+      return "snowflake";
+    case IntegrationShape::kUnionOfStars:
+      return "union-of-stars";
+  }
+  return "?";
+}
 
 Result<DiMetadata> DiMetadata::Derive(const integration::SchemaMapping& mapping,
                                       const std::vector<const rel::Table*>& tables,
@@ -101,34 +153,13 @@ Result<DiMetadata> DiMetadata::Derive(const integration::SchemaMapping& mapping,
       break;
   }
   metadata.target_rows_ = ci_base.size();
+  metadata.shape_ = IntegrationShape::kPairwise;
+  metadata.num_shards_ = mapping.kind() == rel::JoinKind::kUnion ? 2 : 1;
+  metadata.join_depth_ = mapping.kind() == rel::JoinKind::kUnion ? 0 : 1;
 
   // ---- Per-source metadata.
-  std::vector<CompressedMapping> mappings;
-  std::vector<CompressedIndicator> indicators;
-  std::vector<la::DenseMatrix> data(2);
-  std::vector<std::vector<std::string>> names(2);
-  std::vector<std::vector<size_t>> schema_cols(2);
-  for (size_t k = 0; k < 2; ++k) {
-    std::vector<int64_t> cm;
-    AMALUR_RETURN_NOT_OK(BuildColumns(mapping, k, *tables[k], &data[k],
-                                      &names[k], &cm, &schema_cols[k]));
-    mappings.emplace_back(std::move(cm), data[k].cols());
-    indicators.emplace_back(k == 0 ? ci_base : ci_other, data[k].rows());
-  }
-
-  for (size_t k = 0; k < 2; ++k) {
-    SourceMetadata source{
-        mapping.source(k).name,
-        std::move(data[k]),
-        std::move(names[k]),
-        mappings[k],
-        indicators[k],
-        RedundancyMask::Derive(k, indicators, mappings),
-        tables[k]->Project(schema_cols[k]).NullRatio(),
-        integration::DuplicateRatio(*tables[k], schema_cols[k]),
-    };
-    metadata.sources_.push_back(std::move(source));
-  }
+  AMALUR_RETURN_NOT_OK(
+      FillSources(mapping, tables, {ci_base, ci_other}, &metadata.sources_));
   return metadata;
 }
 
@@ -159,6 +190,9 @@ Result<DiMetadata> DiMetadata::DeriveStar(
   metadata.target_schema_ = mapping.target_schema();
   metadata.target_cols_ = metadata.target_schema_.num_fields();
   metadata.target_rows_ = base_rows;
+  metadata.shape_ = IntegrationShape::kStar;
+  metadata.num_shards_ = 1;
+  metadata.join_depth_ = 1;
 
   // CI vectors: base = identity; dimension k from its matching (functional).
   std::vector<std::vector<int64_t>> ci(n_sources);
@@ -179,31 +213,166 @@ Result<DiMetadata> DiMetadata::DeriveStar(
     }
   }
 
-  std::vector<CompressedMapping> mappings;
-  std::vector<CompressedIndicator> indicators;
-  std::vector<la::DenseMatrix> data(n_sources);
-  std::vector<std::vector<std::string>> names(n_sources);
-  std::vector<std::vector<size_t>> schema_cols(n_sources);
-  for (size_t k = 0; k < n_sources; ++k) {
-    std::vector<int64_t> cm;
-    AMALUR_RETURN_NOT_OK(BuildColumns(mapping, k, *tables[k], &data[k],
-                                      &names[k], &cm, &schema_cols[k]));
-    mappings.emplace_back(std::move(cm), data[k].cols());
-    indicators.emplace_back(ci[k], data[k].rows());
+  AMALUR_RETURN_NOT_OK(FillSources(mapping, tables, ci, &metadata.sources_));
+  return metadata;
+}
+
+Result<DiMetadata> DiMetadata::DeriveGraph(
+    const integration::SchemaMapping& mapping,
+    const std::vector<const rel::Table*>& tables,
+    const std::vector<MetadataEdge>& edges,
+    const std::vector<rel::RowMatching>& matchings) {
+  const size_t n_sources = tables.size();
+  if (n_sources != mapping.num_sources()) {
+    return Status::InvalidArgument("expected ", mapping.num_sources(),
+                                   " tables, got ", n_sources);
   }
-  for (size_t k = 0; k < n_sources; ++k) {
-    SourceMetadata source{
-        mapping.source(k).name,
-        std::move(data[k]),
-        std::move(names[k]),
-        mappings[k],
-        indicators[k],
-        RedundancyMask::Derive(k, indicators, mappings),
-        tables[k]->Project(schema_cols[k]).NullRatio(),
-        integration::DuplicateRatio(*tables[k], schema_cols[k]),
-    };
-    metadata.sources_.push_back(std::move(source));
+  if (n_sources < 2) {
+    return Status::InvalidArgument("a graph scenario needs >= 2 sources");
   }
+  if (edges.size() != n_sources - 1) {
+    return Status::InvalidArgument("a tree over ", n_sources,
+                                   " sources needs ", n_sources - 1,
+                                   " edges, got ", edges.size());
+  }
+  if (matchings.size() != edges.size()) {
+    return Status::InvalidArgument("expected ", edges.size(),
+                                   " matchings, got ", matchings.size());
+  }
+
+  // ---- Structural validation. `parent < child` with exactly one parent per
+  // non-root node makes the edge set a tree rooted at 0 in topological
+  // order; union edges may only hang off fact nodes.
+  std::vector<int64_t> parent_edge_of(n_sources, -1);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const MetadataEdge& edge = edges[e];
+    if (edge.child >= n_sources || edge.parent >= edge.child) {
+      return Status::InvalidArgument(
+          "graph edge ", e, " must satisfy parent < child < ", n_sources,
+          " (sources in topological order, root first)");
+    }
+    if (edge.kind != rel::JoinKind::kLeftJoin &&
+        edge.kind != rel::JoinKind::kUnion) {
+      return Status::InvalidArgument(
+          "graph edges are left joins or unions, got ",
+          rel::JoinKindToString(edge.kind), " on edge ", e);
+    }
+    if (parent_edge_of[edge.child] != -1) {
+      return Status::InvalidArgument("source ", edge.child,
+                                     " has several parent edges; integration "
+                                     "graphs must form a tree");
+    }
+    parent_edge_of[edge.child] = static_cast<int64_t>(e);
+  }
+
+  // ---- Fact/shard/depth assignment. Facts are the root and every node
+  // reached through union edges; a shard is one fact plus its dimension
+  // subtree, stacked into the target in ascending fact order.
+  std::vector<uint8_t> is_fact(n_sources, 0);
+  std::vector<size_t> shard_of(n_sources, 0);
+  std::vector<size_t> depth(n_sources, 0);
+  is_fact[0] = 1;
+  std::vector<size_t> fact_of_shard{0};
+  bool any_union = false;
+  size_t max_depth = 0;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const MetadataEdge& edge = edges[e];
+    if (edge.kind == rel::JoinKind::kUnion) {
+      if (!is_fact[edge.parent]) {
+        return Status::InvalidArgument(
+            "union edge ", e, " hangs off dimension source ", edge.parent,
+            "; union edges stack fact shards only");
+      }
+      if (!matchings[e].matched.empty()) {
+        return Status::InvalidArgument(
+            "union edge ", e, " carries a row matching; unions match no rows");
+      }
+      any_union = true;
+      is_fact[edge.child] = 1;
+      shard_of[edge.child] = fact_of_shard.size();
+      fact_of_shard.push_back(edge.child);
+    } else {
+      shard_of[edge.child] = shard_of[edge.parent];
+      depth[edge.child] = depth[edge.parent] + 1;
+      max_depth = std::max(max_depth, depth[edge.child]);
+    }
+  }
+
+  DiMetadata metadata;
+  metadata.kind_ = mapping.kind();
+  metadata.target_schema_ = mapping.target_schema();
+  metadata.target_cols_ = metadata.target_schema_.num_fields();
+  metadata.shape_ = any_union ? IntegrationShape::kUnionOfStars
+                    : max_depth > 1 ? IntegrationShape::kSnowflake
+                                    : IntegrationShape::kStar;
+  metadata.num_shards_ = fact_of_shard.size();
+  metadata.join_depth_ = max_depth;
+  const rel::JoinKind expected_kind =
+      any_union ? rel::JoinKind::kUnion : rel::JoinKind::kLeftJoin;
+  if (mapping.kind() != expected_kind) {
+    return Status::InvalidArgument(
+        "graph derivation expects a ", rel::JoinKindToString(expected_kind),
+        " mapping for this edge set, got ",
+        rel::JoinKindToString(mapping.kind()));
+  }
+
+  // ---- Shard blocks: target rows are the fact shards stacked in order.
+  std::vector<size_t> shard_offset(fact_of_shard.size() + 1, 0);
+  for (size_t s = 0; s < fact_of_shard.size(); ++s) {
+    shard_offset[s + 1] = shard_offset[s] + tables[fact_of_shard[s]]->NumRows();
+  }
+  metadata.target_rows_ = shard_offset.back();
+
+  // ---- Shard-local CI per node (fact rows of its shard -> node rows).
+  // Facts are identities; a join child *composes* its parent's local CI with
+  // the edge's functional matching, so a chained dimension still resolves in
+  // one indirection — the snowflake derivation.
+  std::vector<std::vector<int64_t>> local_ci(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    if (!is_fact[k]) continue;
+    local_ci[k].resize(tables[k]->NumRows());
+    for (size_t i = 0; i < local_ci[k].size(); ++i) {
+      local_ci[k][i] = static_cast<int64_t>(i);
+    }
+  }
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const MetadataEdge& edge = edges[e];
+    if (edge.kind != rel::JoinKind::kLeftJoin) continue;
+    const size_t parent_rows = tables[edge.parent]->NumRows();
+    std::vector<int64_t> parent_to_child(parent_rows, -1);
+    for (const auto& [parent_row, child_row] : matchings[e].matched) {
+      if (parent_row >= parent_rows ||
+          child_row >= tables[edge.child]->NumRows()) {
+        return Status::OutOfRange("row match out of range on graph edge ", e);
+      }
+      if (parent_to_child[parent_row] != -1) {
+        return Status::FailedPrecondition(
+            "row ", parent_row, " of source ", edge.parent,
+            " matches several rows of source ", edge.child,
+            "; graph derivation requires functional join matchings");
+      }
+      parent_to_child[parent_row] = static_cast<int64_t>(child_row);
+    }
+    const std::vector<int64_t>& up = local_ci[edge.parent];
+    local_ci[edge.child].assign(up.size(), -1);
+    for (size_t i = 0; i < up.size(); ++i) {
+      if (up[i] >= 0) {
+        local_ci[edge.child][i] = parent_to_child[static_cast<size_t>(up[i])];
+      }
+    }
+  }
+
+  // ---- Global CI: place each node's local CI into its shard's block.
+  std::vector<std::vector<int64_t>> ci(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    ci[k].assign(metadata.target_rows_, -1);
+    const size_t offset = shard_offset[shard_of[k]];
+    for (size_t i = 0; i < local_ci[k].size(); ++i) {
+      ci[k][offset + i] = local_ci[k][i];
+    }
+  }
+
+  AMALUR_RETURN_NOT_OK(FillSources(mapping, tables, ci, &metadata.sources_));
   return metadata;
 }
 
@@ -241,8 +410,9 @@ double DiMetadata::FeatureRatio(size_t k) const {
 
 std::string DiMetadata::ToString() const {
   std::ostringstream out;
-  out << "DiMetadata[" << rel::JoinKindToString(kind_) << ", T " << target_rows_
-      << "x" << target_cols_ << "]\n";
+  out << "DiMetadata[" << rel::JoinKindToString(kind_) << ", "
+      << IntegrationShapeToString(shape_) << ", T " << target_rows_ << "x"
+      << target_cols_ << "]\n";
   for (size_t k = 0; k < sources_.size(); ++k) {
     const SourceMetadata& s = sources_[k];
     out << "  " << s.name << ": D " << s.data.rows() << "x" << s.data.cols()

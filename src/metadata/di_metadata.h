@@ -26,6 +26,30 @@
 namespace amalur {
 namespace metadata {
 
+/// Structural shape of an integration scenario's source graph. Pairwise is
+/// the two-source form of §III; star/snowflake/union-of-stars are the n-ary
+/// generalizations the edge-list `IntegrationSpec` describes: a star joins
+/// one fact table to depth-1 dimensions, a snowflake chains dimensions of
+/// dimensions, and a union-of-stars stacks horizontally partitioned fact
+/// shards (each with its own dimension subtree) into one target.
+enum class IntegrationShape : int8_t {
+  kPairwise = 0,
+  kStar = 1,
+  kSnowflake = 2,
+  kUnionOfStars = 3,
+};
+
+const char* IntegrationShapeToString(IntegrationShape shape);
+
+/// One edge of an integration graph over the `tables` of `DeriveGraph`,
+/// by source index. `kLeftJoin` edges join a retained parent to a child
+/// dimension; `kUnion` edges stack a sibling fact shard under the root.
+struct MetadataEdge {
+  size_t parent = 0;
+  size_t child = 0;
+  rel::JoinKind kind = rel::JoinKind::kLeftJoin;
+};
+
 /// Everything the factorized runtime needs to know about one source.
 struct SourceMetadata {
   std::string name;
@@ -68,6 +92,33 @@ class DiMetadata {
       const std::vector<const rel::Table*>& tables,
       const std::vector<rel::RowMatching>& matchings);
 
+  /// Derives metadata for a general integration *graph*: a tree of sources
+  /// rooted at `tables[0]` whose edges are left joins (parent retained,
+  /// child dimension) or unions (sibling fact shards). Generalizes
+  /// `DeriveStar` — a pure depth-1 left-join tree produces bitwise-identical
+  /// metadata — with two new derivations:
+  ///
+  ///  * **Snowflake** (dimension-of-dimension chains): a sub-dimension's
+  ///    indicator is the *composition* of the matchings along its chain —
+  ///    CI_sub[i] = m_dim→sub[ CI_dim[i] ] — so the factorized runtime sees
+  ///    one fan-out per silo, however deep the chain.
+  ///  * **Union-of-stars** (`kUnion` edges between fact shards): target rows
+  ///    are the shard blocks stacked in source order; each shard's sources
+  ///    get block-local indicators (-1 outside their shard), which makes
+  ///    cross-shard redundancy vanish structurally.
+  ///
+  /// Requirements: `edges` form a tree with `parent < child` (sources in
+  /// topological order, root first), `matchings[e]` relates
+  /// `tables[edges[e].parent]` rows to `tables[edges[e].child]` rows and
+  /// must be functional for join edges and empty for union edges, and
+  /// `mapping.kind()` is `kUnion` when any union edge exists, `kLeftJoin`
+  /// otherwise.
+  static Result<DiMetadata> DeriveGraph(
+      const integration::SchemaMapping& mapping,
+      const std::vector<const rel::Table*>& tables,
+      const std::vector<MetadataEdge>& edges,
+      const std::vector<rel::RowMatching>& matchings);
+
   size_t num_sources() const { return sources_.size(); }
   const SourceMetadata& source(size_t k) const {
     AMALUR_CHECK_LT(k, sources_.size()) << "source index";
@@ -77,6 +128,14 @@ class DiMetadata {
   size_t target_cols() const { return target_cols_; }
   const rel::Schema& target_schema() const { return target_schema_; }
   rel::JoinKind kind() const { return kind_; }
+  /// Structural shape of the scenario's source graph (cost-model input and
+  /// `Explain` payload).
+  IntegrationShape shape() const { return shape_; }
+  /// Number of horizontally stacked fact shards (1 unless union-of-stars).
+  size_t num_shards() const { return num_shards_; }
+  /// Longest key-join chain from a fact to a leaf dimension (1 for stars
+  /// and pairwise joins, >= 2 for snowflakes, 0 for pure unions).
+  size_t join_depth() const { return join_depth_; }
 
   /// T_k = I_k D_k M_kᵀ — the source's (unmasked) contribution (Figure 4c).
   la::DenseMatrix SourceContribution(size_t k) const;
@@ -98,6 +157,9 @@ class DiMetadata {
   size_t target_cols_ = 0;
   rel::Schema target_schema_;
   rel::JoinKind kind_ = rel::JoinKind::kInnerJoin;
+  IntegrationShape shape_ = IntegrationShape::kPairwise;
+  size_t num_shards_ = 1;
+  size_t join_depth_ = 1;
 };
 
 }  // namespace metadata

@@ -187,6 +187,179 @@ SiloPair GenerateSiloPair(const SiloPairSpec& spec) {
   return pair;
 }
 
+namespace {
+
+/// Distinct single-letter feature prefixes per dimension level/shard; short
+/// generic names (like the pair generator's x/z/s) that stay dissimilar
+/// enough for the schema matcher at the bench/test threshold of 0.75.
+constexpr const char* kLevelPrefixes[] = {"u", "v", "w", "p", "q", "r"};
+constexpr size_t kNumLevelPrefixes =
+    sizeof(kLevelPrefixes) / sizeof(kLevelPrefixes[0]);
+
+/// One keyed dimension table `name(key, <prefix>0..)` with Gaussian
+/// features; returns the feature matrix for label synthesis.
+Table MakeKeyedDimension(const std::string& name, const std::string& key,
+                         size_t rows, size_t features,
+                         const std::string& prefix, Rng* rng,
+                         la::DenseMatrix* values) {
+  Table table(name);
+  {
+    std::vector<int64_t> keys(rows);
+    for (size_t i = 0; i < rows; ++i) keys[i] = static_cast<int64_t>(i);
+    AMALUR_CHECK_OK(table.AddColumn(Column::FromInt64s(key, std::move(keys))));
+  }
+  *values = la::DenseMatrix::RandomGaussian(rows, features, rng);
+  for (size_t j = 0; j < features; ++j) {
+    std::vector<double> col(rows);
+    for (size_t i = 0; i < rows; ++i) col[i] = values->At(i, j);
+    AMALUR_CHECK_OK(table.AddColumn(
+        Column::FromDoubles(prefix + std::to_string(j), std::move(col))));
+  }
+  return table;
+}
+
+/// Unit-scaled Gaussian weights for `count` features.
+std::vector<double> LabelWeights(size_t count, Rng* rng) {
+  std::vector<double> weights(count);
+  const double norm =
+      count > 0 ? std::sqrt(static_cast<double>(count)) : 1.0;
+  for (double& w : weights) w = rng->NextGaussian() / norm;
+  return weights;
+}
+
+}  // namespace
+
+Snowflake GenerateSnowflake(const SnowflakeSpec& spec) {
+  AMALUR_CHECK_EQ(spec.level_rows.size(), spec.level_features.size())
+      << "snowflake spec: one feature count per chain level";
+  AMALUR_CHECK(!spec.level_rows.empty()) << "snowflake spec: needs >= 1 level";
+  Rng rng(spec.seed);
+  Snowflake out;
+  out.spec = spec;
+  const size_t levels = spec.level_rows.size();
+
+  // ---- The chain, leaf-most last. Level i references level i+1 round-robin.
+  std::vector<la::DenseMatrix> level_values(levels);
+  for (size_t level = 0; level < levels; ++level) {
+    out.chain_keys.push_back("dim" + std::to_string(level) + "_id");
+    Table dim = MakeKeyedDimension(
+        "dim" + std::to_string(level), out.chain_keys.back(),
+        spec.level_rows[level], spec.level_features[level],
+        kLevelPrefixes[level % kNumLevelPrefixes], &rng, &level_values[level]);
+    if (level + 1 < levels) {
+      std::vector<int64_t> child_keys(spec.level_rows[level]);
+      for (size_t i = 0; i < spec.level_rows[level]; ++i) {
+        child_keys[i] = static_cast<int64_t>(i % spec.level_rows[level + 1]);
+      }
+      AMALUR_CHECK_OK(dim.AddColumn(Column::FromInt64s(
+          "dim" + std::to_string(level + 1) + "_id", std::move(child_keys))));
+    }
+    out.tables.push_back(std::move(dim));
+  }
+
+  // ---- The fact: key into dim0 round-robin, label linear in the fact's
+  // features plus every chain level's (resolved through the key chain).
+  std::vector<std::vector<double>> level_weights(levels);
+  for (size_t level = 0; level < levels; ++level) {
+    level_weights[level] = LabelWeights(spec.level_features[level], &rng);
+  }
+  const std::vector<double> fact_weights =
+      LabelWeights(spec.fact_features, &rng);
+  la::DenseMatrix x =
+      la::DenseMatrix::RandomGaussian(spec.fact_rows, spec.fact_features, &rng);
+
+  Table fact("fact");
+  {
+    std::vector<int64_t> keys(spec.fact_rows);
+    for (size_t i = 0; i < spec.fact_rows; ++i) {
+      keys[i] = static_cast<int64_t>(i % spec.level_rows[0]);
+    }
+    AMALUR_CHECK_OK(
+        fact.AddColumn(Column::FromInt64s(out.chain_keys[0], std::move(keys))));
+  }
+  {
+    std::vector<double> y(spec.fact_rows);
+    for (size_t i = 0; i < spec.fact_rows; ++i) {
+      double signal = 0.0;
+      for (size_t j = 0; j < spec.fact_features; ++j) {
+        signal += fact_weights[j] * x.At(i, j);
+      }
+      size_t entity = i % spec.level_rows[0];
+      for (size_t level = 0; level < levels; ++level) {
+        for (size_t j = 0; j < spec.level_features[level]; ++j) {
+          signal += level_weights[level][j] * level_values[level].At(entity, j);
+        }
+        if (level + 1 < levels) entity %= spec.level_rows[level + 1];
+      }
+      y[i] = signal + 0.1 * rng.NextGaussian();
+    }
+    AMALUR_CHECK_OK(fact.AddColumn(Column::FromDoubles("y", std::move(y))));
+  }
+  for (size_t j = 0; j < spec.fact_features; ++j) {
+    std::vector<double> col(spec.fact_rows);
+    for (size_t i = 0; i < spec.fact_rows; ++i) col[i] = x.At(i, j);
+    AMALUR_CHECK_OK(fact.AddColumn(
+        Column::FromDoubles("x" + std::to_string(j), std::move(col))));
+  }
+  out.tables.insert(out.tables.begin(), std::move(fact));
+  return out;
+}
+
+UnionOfStars GenerateUnionOfStars(const UnionOfStarsSpec& spec) {
+  AMALUR_CHECK_GE(spec.shards, 2u) << "a union-of-stars needs >= 2 shards";
+  Rng rng(spec.seed);
+  UnionOfStars out;
+  out.spec = spec;
+  // One global weight vector over the shared fact features so every shard
+  // draws its labels from the same underlying model (they are horizontal
+  // partitions of one population).
+  const std::vector<double> fact_weights =
+      LabelWeights(spec.fact_features, &rng);
+  const std::vector<double> dim_weights = LabelWeights(spec.dim_features, &rng);
+
+  for (size_t s = 0; s < spec.shards; ++s) {
+    const std::string key = "dim" + std::to_string(s) + "_id";
+    la::DenseMatrix dim_values;
+    Table dim = MakeKeyedDimension(
+        "dim" + std::to_string(s), key, spec.dim_rows, spec.dim_features,
+        kLevelPrefixes[s % kNumLevelPrefixes], &rng, &dim_values);
+
+    la::DenseMatrix x =
+        la::DenseMatrix::RandomGaussian(spec.fact_rows, spec.fact_features, &rng);
+    Table fact("fact" + std::to_string(s));
+    {
+      std::vector<int64_t> keys(spec.fact_rows);
+      for (size_t i = 0; i < spec.fact_rows; ++i) {
+        keys[i] = static_cast<int64_t>(i % spec.dim_rows);
+      }
+      AMALUR_CHECK_OK(fact.AddColumn(Column::FromInt64s(key, std::move(keys))));
+    }
+    {
+      std::vector<double> y(spec.fact_rows);
+      for (size_t i = 0; i < spec.fact_rows; ++i) {
+        double signal = 0.0;
+        for (size_t j = 0; j < spec.fact_features; ++j) {
+          signal += fact_weights[j] * x.At(i, j);
+        }
+        for (size_t j = 0; j < spec.dim_features; ++j) {
+          signal += dim_weights[j] * dim_values.At(i % spec.dim_rows, j);
+        }
+        y[i] = signal + 0.1 * rng.NextGaussian();
+      }
+      AMALUR_CHECK_OK(fact.AddColumn(Column::FromDoubles("y", std::move(y))));
+    }
+    for (size_t j = 0; j < spec.fact_features; ++j) {
+      std::vector<double> col(spec.fact_rows);
+      for (size_t i = 0; i < spec.fact_rows; ++i) col[i] = x.At(i, j);
+      AMALUR_CHECK_OK(fact.AddColumn(
+          Column::FromDoubles("x" + std::to_string(j), std::move(col))));
+    }
+    out.tables.push_back(std::move(fact));
+    out.tables.push_back(std::move(dim));
+  }
+  return out;
+}
+
 Table GenerateTable(const std::string& name, size_t rows, size_t features,
                     uint64_t seed) {
   Rng rng(seed);

@@ -74,6 +74,65 @@ struct SiloPair {
 /// Generates a silo pair per `spec`. Deterministic in `spec.seed`.
 SiloPair GenerateSiloPair(const SiloPairSpec& spec);
 
+/// Specification of a synthetic *snowflake* scenario: a fact table joined
+/// to a chain of dimensions fact → dim0 → dim1 → ... Each level carries a
+/// surrogate key `dim<i>_id` referenced round-robin by the level above, so
+/// every edge fans out and redundancy compounds along the chain. The label
+/// `y` lives on the fact and is linear in the fact's and every level's
+/// features (plus noise), so chained feature augmentation genuinely helps.
+struct SnowflakeSpec {
+  size_t fact_rows = 1000;
+  /// Fact feature columns (named x0, x1, ...).
+  size_t fact_features = 2;
+  /// Distinct rows per chain level (dim0, dim1, ...); each level must be no
+  /// larger than the one above for the round-robin referencing to fan out.
+  std::vector<size_t> level_rows = {100, 10};
+  /// Feature columns per chain level, named with a distinct per-level
+  /// prefix letter (u0..., v0..., w0...).
+  std::vector<size_t> level_features = {3, 2};
+  uint64_t seed = 42;
+};
+
+/// A generated snowflake. `tables[0]` is the fact, then the chain in order;
+/// `chain_keys[i]` is the key column joining tables[i] to tables[i + 1].
+struct Snowflake {
+  std::vector<Table> tables;
+  std::vector<std::string> chain_keys;
+  SnowflakeSpec spec;
+};
+
+/// Generates a snowflake per `spec`. Deterministic in `spec.seed`.
+Snowflake GenerateSnowflake(const SnowflakeSpec& spec);
+
+/// Specification of a synthetic *union-of-stars* scenario: `shards`
+/// horizontally partitioned fact silos with a common schema (y, x0, ...),
+/// each referencing a private dimension table through its own surrogate key
+/// `dim<i>_id` — paper Table I's union relationship between the shards plus
+/// one left-join star edge per shard.
+struct UnionOfStarsSpec {
+  size_t shards = 2;
+  /// Rows per fact shard.
+  size_t fact_rows = 500;
+  /// Fact feature columns shared by every shard (named x0, x1, ...).
+  size_t fact_features = 2;
+  /// Distinct rows of each shard's private dimension.
+  size_t dim_rows = 50;
+  /// Feature columns of each shard's dimension (distinct per-shard prefix
+  /// letters, as in `SnowflakeSpec`).
+  size_t dim_features = 3;
+  uint64_t seed = 42;
+};
+
+/// A generated union-of-stars, shard-major: tables = [fact0, dim0, fact1,
+/// dim1, ...]. Shard i's fact joins its dimension on `dim<i>_id`.
+struct UnionOfStars {
+  std::vector<Table> tables;
+  UnionOfStarsSpec spec;
+};
+
+/// Generates a union-of-stars per `spec`. Deterministic in `spec.seed`.
+UnionOfStars GenerateUnionOfStars(const UnionOfStarsSpec& spec);
+
 /// Single-table generator: `rows` x `features` Gaussian features plus a label
 /// column `y` = Θᵀx + ε and an int64 key column `k` = 0..rows-1.
 Table GenerateTable(const std::string& name, size_t rows, size_t features,

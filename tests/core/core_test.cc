@@ -307,6 +307,203 @@ TEST(AmalurTest, IntegrationSpecValidation) {
   EXPECT_TRUE(amalur.Integrate(spec).status().IsInvalidArgument());
 }
 
+TEST(AmalurTest, GraphSpecValidationReportsPreciseErrors) {
+  // Malformed edge-list specs fail fast in the graph planner with messages
+  // that name the offending edge or source — no catalog access needed.
+  Amalur amalur;
+  const auto integrate_message = [&](IntegrationSpec spec) {
+    auto result = amalur.Integrate(spec);
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+    return result.status().message();
+  };
+
+  IntegrationSpec spec;
+  // Unknown source in an edge (the spec declares its participants).
+  spec.sources = {"a", "b"};
+  spec.edges = {{"a", "mystery", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(integrate_message(spec).find(
+                "references source 'mystery', which is not among the spec's "
+                "sources"),
+            std::string::npos);
+
+  // Duplicate edge (either orientation).
+  spec.sources.clear();
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin},
+                {"b", "a", rel::JoinKind::kUnion}};
+  EXPECT_NE(integrate_message(spec).find("duplicate edge between 'b' and 'a'"),
+            std::string::npos);
+
+  // Self-loop.
+  spec.edges = {{"a", "a", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(integrate_message(spec).find("joins source 'a' to itself"),
+            std::string::npos);
+
+  // Cycle: every node has a parent, so no root exists.
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin},
+                {"b", "c", rel::JoinKind::kLeftJoin},
+                {"c", "a", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(integrate_message(spec).find("contains a cycle"),
+            std::string::npos);
+
+  // Cycle component unreachable from the root.
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin},
+                {"c", "d", rel::JoinKind::kLeftJoin},
+                {"d", "e", rel::JoinKind::kLeftJoin},
+                {"e", "c", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(integrate_message(spec).find("cycle"), std::string::npos);
+
+  // Disconnected forest: two roots.
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin},
+                {"c", "d", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(integrate_message(spec).find("disconnected"), std::string::npos);
+
+  // Declared source reached by no edge.
+  spec.sources = {"a", "b", "ghost"};
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(
+      integrate_message(spec).find("source 'ghost' appears in no edge"),
+      std::string::npos);
+
+  // Two parents (a DAG diamond is not a tree).
+  spec.sources.clear();
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin},
+                {"a", "c", rel::JoinKind::kLeftJoin},
+                {"b", "c", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(integrate_message(spec).find(
+                "source 'c' has several parent edges"),
+            std::string::npos);
+
+  // Union edges may only stack fact shards, not hang off dimensions.
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin},
+                {"b", "c", rel::JoinKind::kUnion}};
+  EXPECT_NE(integrate_message(spec).find("union edges stack fact shards only"),
+            std::string::npos);
+
+  // Inner/full-outer joins exist only in pairwise specs.
+  spec.edges = {{"a", "b", rel::JoinKind::kInnerJoin},
+                {"a", "c", rel::JoinKind::kLeftJoin}};
+  EXPECT_NE(integrate_message(spec).find(
+                "only valid on single-edge (pairwise) specs"),
+            std::string::npos);
+
+  // star_base belongs to the flat form.
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin}};
+  spec.star_base = "a";
+  EXPECT_NE(integrate_message(spec).find("star_base applies to the flat"),
+            std::string::npos);
+
+  // Edge endpoints that pass validation but are not registered sources
+  // surface as NotFound from the catalog.
+  spec.star_base.clear();
+  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin}};
+  EXPECT_TRUE(amalur.Integrate(spec).status().IsNotFound());
+}
+
+TEST(AmalurTest, EdgeListPairwiseSpecMatchesLegacyForm) {
+  rel::SiloPairSpec pair_spec;
+  pair_spec.kind = rel::JoinKind::kLeftJoin;
+  pair_spec.base_rows = 80;
+  pair_spec.other_rows = 20;
+  pair_spec.base_features = 2;
+  pair_spec.other_features = 3;
+  pair_spec.seed = 21;
+  rel::SiloPair pair = rel::GenerateSiloPair(pair_spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S1", pair.base, "", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S2", pair.other, "", false}).ok());
+
+  IntegrationSpec legacy;
+  legacy.sources = {"S1", "S2"};
+  legacy.relationships = {rel::JoinKind::kLeftJoin};
+  auto from_legacy = amalur.Integrate(legacy);
+  ASSERT_TRUE(from_legacy.ok()) << from_legacy.status();
+
+  IntegrationSpec edge_form;
+  edge_form.edges = {{"S1", "S2", rel::JoinKind::kLeftJoin}};
+  auto from_edges = amalur.Integrate(edge_form);
+  ASSERT_TRUE(from_edges.ok()) << from_edges.status();
+
+  // Both forms lower to the same normalized graph and derive identically.
+  EXPECT_EQ(from_legacy->shape, metadata::IntegrationShape::kPairwise);
+  EXPECT_EQ(from_edges->shape, from_legacy->shape);
+  ASSERT_EQ(from_legacy->edges.size(), 1u);
+  EXPECT_EQ(from_legacy->edges[0].left, "S1");
+  EXPECT_EQ(from_legacy->edges[0].right, "S2");
+  EXPECT_EQ(from_legacy->edges[0].kind, rel::JoinKind::kLeftJoin);
+  EXPECT_EQ(from_edges->source_names, from_legacy->source_names);
+  EXPECT_EQ(from_edges->metadata.MaterializeTargetMatrix().MaxAbsDiff(
+                from_legacy->metadata.MaterializeTargetMatrix()),
+            0.0);
+  // Explain leads with the graph shape.
+  EXPECT_NE(amalur.Explain(*from_edges).explanation.find(
+                "graph shape: pairwise"),
+            std::string::npos);
+}
+
+TEST(AmalurTest, InSampleServingRoutesThroughFactorizedRuntime) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kLeftJoin;
+  spec.base_rows = 120;
+  spec.other_rows = 30;
+  spec.base_features = 2;
+  spec.other_features = 4;
+  spec.seed = 55;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"a", pair.base, "", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"b", pair.other, "", false}).ok());
+  auto integration = amalur.Integrate("a", "b", rel::JoinKind::kLeftJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 40;
+  request.gd.learning_rate = 0.05;
+  request.force_strategy = ExecutionStrategy::kFactorize;
+  auto fact = amalur.Train(*integration, request);
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  request.force_strategy = ExecutionStrategy::kMaterialize;
+  auto mat = amalur.Train(*integration, request);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+
+  // The factorized model serves in-sample predictions straight off the silo
+  // matrices; the result must equal scoring the materialized target as a
+  // relational table through the explicit-data path.
+  const metadata::DiMetadata& md = integration->metadata;
+  rel::Table target = rel::Table::FromMatrix(
+      "target", md.MaterializeTargetMatrix(), md.target_schema().Names());
+  auto in_sample_fact = fact->Predict();
+  ASSERT_TRUE(in_sample_fact.ok()) << in_sample_fact.status();
+  EXPECT_EQ(in_sample_fact->rows(), md.target_rows());
+  auto explicit_fact = fact->Predict(target);
+  ASSERT_TRUE(explicit_fact.ok());
+  EXPECT_LT(in_sample_fact->MaxAbsDiff(*explicit_fact), 1e-9);
+
+  // Materialized-plan models fall back to the dense path — same numbers.
+  auto in_sample_mat = mat->Predict();
+  ASSERT_TRUE(in_sample_mat.ok()) << in_sample_mat.status();
+  EXPECT_LT(in_sample_mat->MaxAbsDiff(*in_sample_fact), 1e-6);
+
+  // In-sample evaluation matches the explicit-table evaluation.
+  auto report = fact->Evaluate();
+  auto table_report = fact->Evaluate(target);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(table_report.ok());
+  EXPECT_EQ(report->rows, md.target_rows());
+  EXPECT_NEAR(report->mse, table_report->mse, 1e-9);
+
+  // A default-constructed handle has no integration data attached.
+  ModelHandle empty;
+  EXPECT_TRUE(empty.Predict().status().IsFailedPrecondition());
+  EXPECT_TRUE(empty.Evaluate().status().IsFailedPrecondition());
+}
+
 TEST(AmalurTest, StarBaseReordersSources) {
   // Naming a star base rotates it to the front: the spec below is the same
   // scenario as {base, dim} with a left join.

@@ -1,0 +1,298 @@
+// DiMetadata::DeriveGraph: the general tree derivation behind snowflake and
+// union-of-stars scenarios. Star graphs must be bitwise-identical to the
+// dedicated DeriveStar path; snowflakes must compose matchings along the
+// dimension chain; union-of-stars must stack shard blocks with no
+// cross-shard redundancy — and everything must agree with first-principles
+// relational references and the factorized rewrites.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "factorized/factorized_table.h"
+#include "factorized/scenario_builder.h"
+#include "metadata/di_metadata.h"
+#include "relational/generator.h"
+#include "relational/join.h"
+
+namespace amalur {
+namespace metadata {
+namespace {
+
+/// A three-source star as an explicit graph: base(k1, k2, y, x0),
+/// dim1(k1, z0, z1), dim2(k2, w0, w1) with fan-out.
+struct StarFixture {
+  rel::Table base{"base"}, dim1{"dim1"}, dim2{"dim2"};
+  integration::SchemaMapping mapping;
+  std::vector<rel::RowMatching> matchings;
+};
+
+StarFixture MakeStar(uint64_t seed = 5) {
+  Rng rng(seed);
+  StarFixture f;
+  const size_t dim1_rows = 20, dim2_rows = 40, base_rows = 80;
+  auto fill_dim = [&rng](rel::Table* table, const std::string& key,
+                         size_t rows, const std::vector<const char*>& names) {
+    std::vector<int64_t> keys(rows);
+    for (size_t i = 0; i < rows; ++i) keys[i] = static_cast<int64_t>(i);
+    AMALUR_CHECK_OK(table->AddColumn(rel::Column::FromInt64s(key, keys)));
+    for (const char* name : names) {
+      std::vector<double> values(rows);
+      for (double& v : values) v = rng.NextGaussian();
+      AMALUR_CHECK_OK(
+          table->AddColumn(rel::Column::FromDoubles(name, values)));
+    }
+  };
+  fill_dim(&f.dim1, "k1", dim1_rows, {"z0", "z1"});
+  fill_dim(&f.dim2, "k2", dim2_rows, {"w0", "w1"});
+  {
+    std::vector<int64_t> k1(base_rows), k2(base_rows);
+    std::vector<double> y(base_rows), x0(base_rows);
+    for (size_t i = 0; i < base_rows; ++i) {
+      k1[i] = static_cast<int64_t>(i % dim1_rows);
+      k2[i] = static_cast<int64_t>(i % dim2_rows);
+      y[i] = rng.NextGaussian();
+      x0[i] = rng.NextGaussian();
+    }
+    AMALUR_CHECK_OK(f.base.AddColumn(rel::Column::FromInt64s("k1", k1)));
+    AMALUR_CHECK_OK(f.base.AddColumn(rel::Column::FromInt64s("k2", k2)));
+    AMALUR_CHECK_OK(f.base.AddColumn(rel::Column::FromDoubles("y", y)));
+    AMALUR_CHECK_OK(f.base.AddColumn(rel::Column::FromDoubles("x0", x0)));
+  }
+  auto mapping = integration::SchemaMapping::Create(
+      rel::JoinKind::kLeftJoin,
+      {integration::SchemaMapping::SourceSpec{
+           "base", f.base.schema(), {{"y", "y"}, {"x0", "x0"}}},
+       integration::SchemaMapping::SourceSpec{
+           "dim1", f.dim1.schema(), {{"z0", "z0"}, {"z1", "z1"}}},
+       integration::SchemaMapping::SourceSpec{
+           "dim2", f.dim2.schema(), {{"w0", "w0"}, {"w1", "w1"}}}},
+      rel::Schema::AllDouble({"y", "x0", "z0", "z1", "w0", "w1"}),
+      {{0, "k1", 1, "k1"}, {0, "k2", 2, "k2"}});
+  AMALUR_CHECK(mapping.ok()) << mapping.status();
+  f.mapping = std::move(mapping).ValueOrDie();
+  for (const auto& [dim, key] :
+       std::vector<std::pair<const rel::Table*, std::string>>{
+           {&f.dim1, "k1"}, {&f.dim2, "k2"}}) {
+    auto matching = rel::MatchRowsOnKeys(f.base, *dim, {key}, {key});
+    AMALUR_CHECK(matching.ok()) << matching.status();
+    f.matchings.push_back(std::move(matching).ValueOrDie());
+  }
+  return f;
+}
+
+TEST(GraphMetadataTest, PureStarBitwiseEqualsDeriveStar) {
+  StarFixture f = MakeStar();
+  const std::vector<const rel::Table*> tables{&f.base, &f.dim1, &f.dim2};
+  auto star = DiMetadata::DeriveStar(f.mapping, tables, f.matchings);
+  ASSERT_TRUE(star.ok()) << star.status();
+  auto graph = DiMetadata::DeriveGraph(
+      f.mapping, tables,
+      {{0, 1, rel::JoinKind::kLeftJoin}, {0, 2, rel::JoinKind::kLeftJoin}},
+      f.matchings);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  EXPECT_EQ(graph->shape(), IntegrationShape::kStar);
+  EXPECT_EQ(graph->shape(), star->shape());
+  EXPECT_EQ(graph->num_shards(), 1u);
+  EXPECT_EQ(graph->join_depth(), 1u);
+  ASSERT_EQ(graph->num_sources(), star->num_sources());
+  EXPECT_EQ(graph->target_rows(), star->target_rows());
+  for (size_t k = 0; k < graph->num_sources(); ++k) {
+    // Bitwise equality of every derived artifact per source.
+    EXPECT_EQ(graph->source(k).indicator.values(),
+              star->source(k).indicator.values());
+    EXPECT_EQ(graph->source(k).mapping.values(),
+              star->source(k).mapping.values());
+    EXPECT_EQ(graph->source(k).data.MaxAbsDiff(star->source(k).data), 0.0);
+    EXPECT_EQ(graph->source(k).redundancy.ToDense().MaxAbsDiff(
+                  star->source(k).redundancy.ToDense()),
+              0.0);
+    EXPECT_EQ(graph->source(k).column_names, star->source(k).column_names);
+  }
+  EXPECT_EQ(graph->MaterializeTargetMatrix().MaxAbsDiff(
+                star->MaterializeTargetMatrix()),
+            0.0);
+}
+
+TEST(GraphMetadataTest, SnowflakeComposesIndicatorsAlongTheChain) {
+  rel::SnowflakeSpec spec;
+  spec.fact_rows = 120;
+  spec.level_rows = {24, 6};
+  spec.level_features = {2, 3};
+  spec.seed = 7;
+  rel::Snowflake snowflake = rel::GenerateSnowflake(spec);
+  auto md = factorized::DeriveSnowflakeMetadata(snowflake);
+  ASSERT_TRUE(md.ok()) << md.status();
+
+  EXPECT_EQ(md->shape(), IntegrationShape::kSnowflake);
+  EXPECT_EQ(md->num_shards(), 1u);
+  EXPECT_EQ(md->join_depth(), 2u);
+  EXPECT_EQ(md->target_rows(), spec.fact_rows);
+  // The sub-dimension's indicator is the composition of the two round-robin
+  // key assignments: fact row i -> dim0 row i % 24 -> dim1 row (i % 24) % 6.
+  const CompressedIndicator& sub = md->source(2).indicator;
+  for (size_t i = 0; i < spec.fact_rows; ++i) {
+    EXPECT_EQ(sub.At(i), static_cast<int64_t>((i % 24) % 6)) << "row " << i;
+  }
+
+  // Relational reference: fact ⋈ dim0 ⋈ dim1, projected onto the target.
+  auto j1 = rel::HashJoin(snowflake.tables[0], snowflake.tables[1],
+                          {"dim0_id"}, {"dim0_id"}, rel::JoinKind::kLeftJoin);
+  ASSERT_TRUE(j1.ok()) << j1.status();
+  auto j2 = rel::HashJoin(j1->table, snowflake.tables[2], {"dim1_id"},
+                          {"dim1_id"}, rel::JoinKind::kLeftJoin);
+  ASSERT_TRUE(j2.ok()) << j2.status();
+  auto projected = j2->table.ProjectNames(md->target_schema().Names());
+  ASSERT_TRUE(projected.ok()) << projected.status();
+  auto expected = projected->ToMatrix();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(md->MaterializeTargetMatrix().ApproxEquals(*expected, 1e-12));
+}
+
+TEST(GraphMetadataTest, SnowflakeFactorizedOpsMatchMaterialized) {
+  rel::SnowflakeSpec spec;
+  spec.fact_rows = 90;
+  spec.level_rows = {18, 6, 3};
+  spec.level_features = {2, 2, 1};
+  spec.seed = 8;
+  auto md = factorized::DeriveSnowflakeMetadata(rel::GenerateSnowflake(spec));
+  ASSERT_TRUE(md.ok()) << md.status();
+  factorized::FactorizedTable table(*md);
+  la::DenseMatrix dense = table.Materialize();
+  Rng rng(9);
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(table.cols(), 3, &rng);
+  EXPECT_LT(table.LeftMultiply(x).MaxAbsDiff(dense.Multiply(x)), 1e-9);
+  la::DenseMatrix y = la::DenseMatrix::RandomGaussian(table.rows(), 2, &rng);
+  EXPECT_LT(
+      table.TransposeLeftMultiply(y).MaxAbsDiff(dense.TransposeMultiply(y)),
+      1e-9);
+  EXPECT_LT(table.RowSums().MaxAbsDiff(dense.RowSums()), 1e-9);
+  EXPECT_LT(table.ColSums().MaxAbsDiff(dense.ColSums()), 1e-9);
+}
+
+TEST(GraphMetadataTest, UnionOfStarsStacksShardBlocks) {
+  rel::UnionOfStarsSpec spec;
+  spec.shards = 2;
+  spec.fact_rows = 50;
+  spec.fact_features = 2;
+  spec.dim_rows = 10;
+  spec.dim_features = 2;
+  spec.seed = 11;
+  rel::UnionOfStars scenario = rel::GenerateUnionOfStars(spec);
+  auto md = factorized::DeriveUnionOfStarsMetadata(scenario);
+  ASSERT_TRUE(md.ok()) << md.status();
+
+  EXPECT_EQ(md->shape(), IntegrationShape::kUnionOfStars);
+  EXPECT_EQ(md->num_shards(), 2u);
+  EXPECT_EQ(md->join_depth(), 1u);
+  EXPECT_EQ(md->target_rows(), 2 * spec.fact_rows);
+  // Shard facts are identities inside their block, absent outside.
+  const CompressedIndicator& fact0 = md->source(0).indicator;
+  const CompressedIndicator& fact1 = md->source(2).indicator;
+  for (size_t i = 0; i < spec.fact_rows; ++i) {
+    EXPECT_EQ(fact0.At(i), static_cast<int64_t>(i));
+    EXPECT_EQ(fact0.At(spec.fact_rows + i), -1);
+    EXPECT_EQ(fact1.At(i), -1);
+    EXPECT_EQ(fact1.At(spec.fact_rows + i), static_cast<int64_t>(i));
+  }
+  // Shard rows are disjoint, so the shared y/x columns carry no cross-shard
+  // redundancy; per-shard redundancy also vanishes (disjoint columns).
+  for (size_t k = 0; k < md->num_sources(); ++k) {
+    EXPECT_FALSE(md->source(k).redundancy.HasRedundancy()) << "source " << k;
+  }
+
+  // Relational reference per block: shard's fact ⋈ dim projected onto the
+  // target schema (absent other-shard columns materialize as zero).
+  la::DenseMatrix target = md->MaterializeTargetMatrix();
+  for (size_t s = 0; s < 2; ++s) {
+    const std::string key = "dim" + std::to_string(s) + "_id";
+    auto joined =
+        rel::HashJoin(scenario.tables[2 * s], scenario.tables[2 * s + 1],
+                      {key}, {key}, rel::JoinKind::kLeftJoin);
+    ASSERT_TRUE(joined.ok()) << joined.status();
+    const size_t offset = s * spec.fact_rows;
+    for (const std::string& name : md->target_schema().Names()) {
+      const auto target_col = md->target_schema().IndexOf(name);
+      auto shard_col = joined->table.ColumnIndex(name);
+      for (size_t i = 0; i < spec.fact_rows; ++i) {
+        const double expected =
+            shard_col.ok() &&
+                    !joined->table.column(*shard_col).IsNull(i)
+                ? joined->table.column(*shard_col).GetDouble(i)
+                : 0.0;
+        EXPECT_NEAR(target.At(offset + i, *target_col), expected, 1e-12)
+            << "shard " << s << " row " << i << " column " << name;
+      }
+    }
+  }
+
+  // Factorized rewrites agree with the stacked dense target.
+  factorized::FactorizedTable table(*md);
+  Rng rng(12);
+  la::DenseMatrix x = la::DenseMatrix::RandomGaussian(table.cols(), 2, &rng);
+  EXPECT_LT(table.LeftMultiply(x).MaxAbsDiff(target.Multiply(x)), 1e-9);
+  la::DenseMatrix y = la::DenseMatrix::RandomGaussian(table.rows(), 2, &rng);
+  EXPECT_LT(
+      table.TransposeLeftMultiply(y).MaxAbsDiff(target.TransposeMultiply(y)),
+      1e-9);
+}
+
+TEST(GraphMetadataTest, Validation) {
+  StarFixture f = MakeStar();
+  const std::vector<const rel::Table*> tables{&f.base, &f.dim1, &f.dim2};
+  // Edges must be in topological order with parent < child.
+  EXPECT_TRUE(DiMetadata::DeriveGraph(
+                  f.mapping, tables,
+                  {{1, 0, rel::JoinKind::kLeftJoin},
+                   {0, 2, rel::JoinKind::kLeftJoin}},
+                  f.matchings)
+                  .status()
+                  .IsInvalidArgument());
+  // One parent per node.
+  EXPECT_TRUE(DiMetadata::DeriveGraph(
+                  f.mapping, tables,
+                  {{0, 2, rel::JoinKind::kLeftJoin},
+                   {1, 2, rel::JoinKind::kLeftJoin}},
+                  f.matchings)
+                  .status()
+                  .IsInvalidArgument());
+  // Inner joins are not graph edges.
+  EXPECT_TRUE(DiMetadata::DeriveGraph(
+                  f.mapping, tables,
+                  {{0, 1, rel::JoinKind::kInnerJoin},
+                   {0, 2, rel::JoinKind::kLeftJoin}},
+                  f.matchings)
+                  .status()
+                  .IsInvalidArgument());
+  // Union edges carry no row matching.
+  EXPECT_TRUE(DiMetadata::DeriveGraph(
+                  f.mapping, tables,
+                  {{0, 1, rel::JoinKind::kLeftJoin},
+                   {0, 2, rel::JoinKind::kUnion}},
+                  f.matchings)
+                  .status()
+                  .IsInvalidArgument());
+  // A union edge set needs a union mapping (this one is left-join).
+  std::vector<rel::RowMatching> union_matchings{f.matchings[0], {}};
+  EXPECT_TRUE(DiMetadata::DeriveGraph(
+                  f.mapping, tables,
+                  {{0, 1, rel::JoinKind::kLeftJoin},
+                   {0, 2, rel::JoinKind::kUnion}},
+                  union_matchings)
+                  .status()
+                  .IsInvalidArgument());
+  // Non-functional join matching.
+  auto broken = f.matchings;
+  broken[0].matched.push_back(broken[0].matched[0]);
+  EXPECT_TRUE(DiMetadata::DeriveGraph(
+                  f.mapping, tables,
+                  {{0, 1, rel::JoinKind::kLeftJoin},
+                   {0, 2, rel::JoinKind::kLeftJoin}},
+                  broken)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace metadata
+}  // namespace amalur

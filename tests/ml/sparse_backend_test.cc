@@ -71,6 +71,57 @@ TEST(SparseBackendTest, TrainingMatchesDenseBackendOnNullPaddedTarget) {
   EXPECT_LT(from_factorized.weights.MaxAbsDiff(from_dense.weights), 1e-9);
 }
 
+TEST(SparseBackendTest, GraphScenariosAgreeAcrossAllThreeBackends) {
+  // Snowflake and union-of-stars metadata trained under all three training
+  // backends — factorized pushdown, dense materialized, CSR materialized —
+  // must produce the same model as the dense baseline.
+  auto snowflake = [] {
+    rel::SnowflakeSpec spec;
+    spec.fact_rows = 90;
+    spec.level_rows = {18, 6};
+    spec.level_features = {2, 2};
+    spec.seed = 23;
+    return factorized::DeriveSnowflakeMetadata(rel::GenerateSnowflake(spec));
+  }();
+  auto union_of_stars = [] {
+    rel::UnionOfStarsSpec spec;
+    spec.shards = 2;
+    spec.fact_rows = 60;
+    spec.dim_rows = 12;
+    spec.dim_features = 2;
+    spec.seed = 24;
+    return factorized::DeriveUnionOfStarsMetadata(
+        rel::GenerateUnionOfStars(spec));
+  }();
+  ASSERT_TRUE(snowflake.ok()) << snowflake.status();
+  ASSERT_TRUE(union_of_stars.ok()) << union_of_stars.status();
+
+  for (auto* metadata : {&*snowflake, &*union_of_stars}) {
+    // Label is target column 0 ("y") in both scenario builders.
+    la::DenseMatrix target = metadata->MaterializeTargetMatrix();
+    std::vector<size_t> feature_cols;
+    for (size_t j = 1; j < target.cols(); ++j) feature_cols.push_back(j);
+    la::DenseMatrix features_dense = target.SelectColumns(feature_cols);
+    la::DenseMatrix labels = target.SelectColumns({0});
+
+    MaterializedMatrix dense(features_dense);
+    SparseMaterializedMatrix sparse =
+        SparseMaterializedMatrix::FromDense(features_dense);
+    auto table = std::make_shared<factorized::FactorizedTable>(*metadata);
+    FactorizedFeatures factorized_features(table, 0);
+
+    GradientDescentOptions gd;
+    gd.iterations = 30;
+    gd.learning_rate = 0.05;
+    LinearModel from_dense = TrainLinearRegression(dense, labels, gd);
+    LinearModel from_sparse = TrainLinearRegression(sparse, labels, gd);
+    LinearModel from_factorized =
+        TrainLinearRegression(factorized_features, labels, gd);
+    EXPECT_LT(from_sparse.weights.MaxAbsDiff(from_dense.weights), 1e-9);
+    EXPECT_LT(from_factorized.weights.MaxAbsDiff(from_dense.weights), 1e-9);
+  }
+}
+
 TEST(SparseBackendTest, EmptyMatrixSafe) {
   SparseMaterializedMatrix sparse =
       SparseMaterializedMatrix::FromDense(la::DenseMatrix::Zeros(3, 2));

@@ -397,5 +397,188 @@ TEST(SystemTest, StarFacadeTrainsPredictsEvaluatesUnderBothStrategies) {
             (std::vector<std::string>{"star-fact", "star-mat"}));
 }
 
+TEST(SystemTest, StarEdgeListSpecMatchesLegacyForm) {
+  // The same star, described once with the flat sources list and once with
+  // an explicit edge list, derives identical metadata and reports the star
+  // shape either way.
+  star::StarFixture fixture = star::MakeStar(250, 505);
+  core::Amalur legacy_system = star::MakeSystemWithStar(fixture);
+  core::Amalur edge_system = star::MakeSystemWithStar(fixture);
+
+  core::IntegrationSpec legacy;
+  legacy.sources = {"visits", "patients", "clinics"};
+  legacy.relationships = {rel::JoinKind::kLeftJoin};
+  auto from_legacy = legacy_system.Integrate(legacy);
+  ASSERT_TRUE(from_legacy.ok()) << from_legacy.status();
+
+  core::IntegrationSpec edge_form;
+  edge_form.edges = {{"visits", "patients", rel::JoinKind::kLeftJoin},
+                     {"visits", "clinics", rel::JoinKind::kLeftJoin}};
+  auto from_edges = edge_system.Integrate(edge_form);
+  ASSERT_TRUE(from_edges.ok()) << from_edges.status();
+
+  EXPECT_EQ(from_edges->shape, metadata::IntegrationShape::kStar);
+  EXPECT_EQ(from_edges->source_names, from_legacy->source_names);
+  EXPECT_EQ(from_edges->metadata.target_schema().Names(),
+            from_legacy->metadata.target_schema().Names());
+  EXPECT_EQ(from_edges->metadata.MaterializeTargetMatrix().MaxAbsDiff(
+                from_legacy->metadata.MaterializeTargetMatrix()),
+            0.0);
+  EXPECT_NE(
+      edge_system.Explain(*from_edges).explanation.find("graph shape: star"),
+      std::string::npos);
+}
+
+TEST(SystemTest, SnowflakeEdgeListEndToEnd) {
+  // Acceptance scenario: a 3-level snowflake (fact -> dim -> sub-dim)
+  // integrated through an edge-list spec — automatic key discovery down the
+  // chain, composed fan-out metadata, matching weights under both forced
+  // strategies, and a shape-aware Explain.
+  rel::SnowflakeSpec snow_spec;
+  snow_spec.fact_rows = 400;
+  snow_spec.fact_features = 2;
+  snow_spec.level_rows = {40, 8};
+  snow_spec.level_features = {3, 2};
+  snow_spec.seed = 17;
+  rel::Snowflake snowflake = rel::GenerateSnowflake(snow_spec);
+
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;  // generic short names need evidence
+  core::Amalur system(options);
+  for (const rel::Table& table : snowflake.tables) {
+    ASSERT_TRUE(
+        system.catalog()->RegisterSource({table.name(), table, "", false}).ok());
+  }
+
+  core::IntegrationSpec spec;
+  spec.name = "sales-snowflake";
+  spec.edges = {{"fact", "dim0", rel::JoinKind::kLeftJoin},
+                {"dim0", "dim1", rel::JoinKind::kLeftJoin}};
+  auto integration = system.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  EXPECT_EQ(integration->shape, metadata::IntegrationShape::kSnowflake);
+  EXPECT_EQ(integration->source_names,
+            (std::vector<std::string>{"fact", "dim0", "dim1"}));
+  // Keys discovered along the chain stay out of the feature space.
+  EXPECT_EQ(integration->metadata.target_schema().Names(),
+            (std::vector<std::string>{"y", "x0", "x1", "u0", "u1", "u2", "v0",
+                                      "v1"}));
+  // The automatic pipeline reproduces the hand-built graph derivation.
+  auto reference = factorized::DeriveSnowflakeMetadata(snowflake);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_TRUE(integration->metadata.MaterializeTargetMatrix().ApproxEquals(
+      reference->MaterializeTargetMatrix()));
+
+  core::TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 50;
+  request.gd.learning_rate = 0.05;
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto fact = system.Train(*integration, request, "snow-fact");
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto mat = system.Train(*integration, request, "snow-mat");
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_LT(fact->weights().MaxAbsDiff(mat->weights()), 1e-8);
+  // Training genuinely learned the planted chain signal.
+  EXPECT_LT(fact->outcome().loss_history.back(),
+            fact->outcome().loss_history.front());
+
+  // Explain reports the graph shape for the integration and both models.
+  EXPECT_NE(system.Explain(*integration).explanation.find(
+                "graph shape: snowflake"),
+            std::string::npos);
+  EXPECT_NE(system.Explain(*fact).explanation.find("graph shape: snowflake"),
+            std::string::npos);
+
+  // In-sample factorized serving agrees with the dense fallback.
+  auto fact_scores = fact->Predict();
+  auto mat_scores = mat->Predict();
+  ASSERT_TRUE(fact_scores.ok()) << fact_scores.status();
+  ASSERT_TRUE(mat_scores.ok()) << mat_scores.status();
+  EXPECT_EQ(fact_scores->rows(), integration->metadata.target_rows());
+  EXPECT_LT(fact_scores->MaxAbsDiff(*mat_scores), 1e-6);
+}
+
+TEST(SystemTest, UnionOfStarsEdgeListEndToEnd) {
+  // Acceptance scenario: two horizontally partitioned fact shards, each
+  // with a private dimension, stacked through a union edge — Table I's
+  // union relationship between silos that are themselves stars.
+  rel::UnionOfStarsSpec union_spec;
+  union_spec.shards = 2;
+  union_spec.fact_rows = 300;
+  union_spec.fact_features = 2;
+  union_spec.dim_rows = 30;
+  union_spec.dim_features = 3;
+  union_spec.seed = 19;
+  rel::UnionOfStars scenario = rel::GenerateUnionOfStars(union_spec);
+
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  core::Amalur system(options);
+  for (const rel::Table& table : scenario.tables) {
+    ASSERT_TRUE(
+        system.catalog()->RegisterSource({table.name(), table, "", false}).ok());
+  }
+
+  core::IntegrationSpec spec;
+  spec.name = "claims-shards";
+  spec.edges = {{"fact0", "dim0", rel::JoinKind::kLeftJoin},
+                {"fact0", "fact1", rel::JoinKind::kUnion},
+                {"fact1", "dim1", rel::JoinKind::kLeftJoin}};
+  auto integration = system.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  EXPECT_EQ(integration->shape, metadata::IntegrationShape::kUnionOfStars);
+  // Shard-major topological order: each fact precedes its dimensions.
+  EXPECT_EQ(integration->source_names,
+            (std::vector<std::string>{"fact0", "dim0", "fact1", "dim1"}));
+  EXPECT_EQ(integration->metadata.target_rows(), 2 * union_spec.fact_rows);
+  EXPECT_EQ(integration->metadata.num_shards(), 2u);
+  // Shared fact columns merged into one target column each; shard keys out.
+  EXPECT_EQ(integration->metadata.target_schema().Names(),
+            (std::vector<std::string>{"y", "x0", "x1", "u0", "u1", "u2", "v0",
+                                      "v1", "v2"}));
+  auto reference = factorized::DeriveUnionOfStarsMetadata(scenario);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_TRUE(integration->metadata.MaterializeTargetMatrix().ApproxEquals(
+      reference->MaterializeTargetMatrix()));
+
+  core::TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 50;
+  request.gd.learning_rate = 0.05;
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto fact = system.Train(*integration, request);
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto mat = system.Train(*integration, request);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_LT(fact->weights().MaxAbsDiff(mat->weights()), 1e-8);
+  EXPECT_LT(fact->outcome().loss_history.back(),
+            fact->outcome().loss_history.front());
+
+  EXPECT_NE(system.Explain(*integration).explanation.find(
+                "graph shape: union-of-stars"),
+            std::string::npos);
+  EXPECT_NE(
+      system.Explain(*fact).explanation.find("graph shape: union-of-stars"),
+      std::string::npos);
+
+  // In-sample serving across the stacked blocks, both routes agreeing.
+  auto fact_scores = fact->Predict();
+  auto mat_scores = mat->Predict();
+  ASSERT_TRUE(fact_scores.ok()) << fact_scores.status();
+  ASSERT_TRUE(mat_scores.ok()) << mat_scores.status();
+  EXPECT_EQ(fact_scores->rows(), 2 * union_spec.fact_rows);
+  EXPECT_LT(fact_scores->MaxAbsDiff(*mat_scores), 1e-6);
+
+  // The named handle and its per-edge artifacts landed in the catalog.
+  EXPECT_TRUE(system.catalog()->GetIntegration("claims-shards").ok());
+  EXPECT_TRUE(system.catalog()->GetColumnMatches("fact0", "fact1").ok());
+  EXPECT_TRUE(system.catalog()->GetRowMatching("fact1", "dim1").ok());
+}
+
 }  // namespace
 }  // namespace amalur
