@@ -4,7 +4,10 @@
 // forced to a federated plan by the privacy constraint, and training runs
 // as vertical federated linear regression — first in plaintext, then with
 // Paillier-encrypted exchanges to show the §V.B encryption overhead.
-// A horizontal (FedAvg) run over row-partitioned branches closes the tour.
+// A horizontal (FedAvg) run over row-partitioned branches, an n-silo
+// privacy-constrained snowflake (three parties, composed indicator blocks)
+// and a union-of-stars scenario that federates horizontally per shard —
+// all through the same `Amalur::Train` facade — close the tour.
 
 #include <cstdio>
 
@@ -105,5 +108,71 @@ int main() {
   std::printf("  loss %.4f -> %.4f over %zu rounds, %zu bytes moved\n",
               global->loss_history.front(), global->loss_history.back(),
               hfl.rounds, global->bytes_transferred);
+
+  // --- N-silo vertical federation through the facade: a snowflake whose
+  // three silos (fact -> dim0 -> dim1) all refuse data movement. The leaf
+  // silo participates through the indicator composed along the chain; the
+  // executed plan reports silos, rounds and bytes.
+  rel::SnowflakeSpec snow_spec;
+  snow_spec.fact_rows = 300;
+  snow_spec.fact_features = 2;
+  snow_spec.level_rows = {30, 6};
+  snow_spec.level_features = {3, 2};
+  snow_spec.seed = 21;
+  rel::Snowflake snowflake = rel::GenerateSnowflake(snow_spec);
+  core::AmalurOptions snow_options;
+  snow_options.matcher.threshold = 0.75;
+  core::Amalur snow_system(snow_options);
+  for (const rel::Table& table : snowflake.tables) {
+    AMALUR_CHECK_OK(snow_system.catalog()->RegisterSource(
+        {table.name(), table, "silo", /*privacy_sensitive=*/true}));
+  }
+  core::IntegrationSpec snow_spec2;
+  snow_spec2.edges = {{"fact", "dim0", rel::JoinKind::kLeftJoin},
+                      {"dim0", "dim1", rel::JoinKind::kLeftJoin}};
+  auto snow_integration = snow_system.Integrate(snow_spec2);
+  AMALUR_CHECK(snow_integration.ok()) << snow_integration.status();
+  core::TrainRequest snow_request;
+  snow_request.label_column = "y";
+  snow_request.gd.iterations = 50;
+  snow_request.gd.learning_rate = 0.05;
+  auto snow_model = snow_system.Train(*snow_integration, snow_request);
+  AMALUR_CHECK(snow_model.ok()) << snow_model.status();
+  std::printf("\n=== N-silo vertical FLR (privacy-constrained snowflake) ===\n");
+  std::printf("  %s\n", snow_model->plan().explanation.c_str());
+  std::printf("  loss %.4f -> %.4f across %zu silos\n",
+              snow_model->outcome().loss_history.front(),
+              snow_model->outcome().loss_history.back(),
+              snow_model->outcome().federated_silos);
+
+  // --- Union-of-stars: horizontally partitioned shards federate with one
+  // FedAvg participant per shard — no cross-shard rows are ever assembled.
+  rel::UnionOfStarsSpec union_spec;
+  union_spec.shards = 2;
+  union_spec.fact_rows = 200;
+  union_spec.fact_features = 2;
+  union_spec.dim_rows = 20;
+  union_spec.dim_features = 3;
+  union_spec.seed = 27;
+  rel::UnionOfStars scenario = rel::GenerateUnionOfStars(union_spec);
+  core::Amalur shard_system(snow_options);
+  for (const rel::Table& table : scenario.tables) {
+    AMALUR_CHECK_OK(shard_system.catalog()->RegisterSource(
+        {table.name(), table, "shard-silo", /*privacy_sensitive=*/true}));
+  }
+  core::IntegrationSpec shard_spec;
+  shard_spec.edges = {{"fact0", "dim0", rel::JoinKind::kLeftJoin},
+                      {"fact0", "fact1", rel::JoinKind::kUnion},
+                      {"fact1", "dim1", rel::JoinKind::kLeftJoin}};
+  auto shard_integration = shard_system.Integrate(shard_spec);
+  AMALUR_CHECK(shard_integration.ok()) << shard_integration.status();
+  auto shard_model = shard_system.Train(*shard_integration, snow_request);
+  AMALUR_CHECK(shard_model.ok()) << shard_model.status();
+  std::printf("\n=== Per-shard FedAvg (privacy-constrained union-of-stars) ===\n");
+  std::printf("  %s\n", shard_model->plan().explanation.c_str());
+  std::printf("  loss %.4f -> %.4f across %zu shards\n",
+              shard_model->outcome().loss_history.front(),
+              shard_model->outcome().loss_history.back(),
+              shard_model->outcome().federated_silos);
   return 0;
 }

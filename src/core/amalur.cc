@@ -674,6 +674,16 @@ Result<ModelHandle> Amalur::Train(const IntegrationHandle& integration,
   plan.explanation += "; executed with " +
                       std::to_string(outcome.threads_used) +
                       (outcome.threads_used == 1 ? " thread" : " threads");
+  if (outcome.strategy_used == ExecutionStrategy::kFederate) {
+    // Per-run federated accounting lands in the executed plan so `Explain`
+    // answers "how many silos, how many rounds, how many bytes" directly.
+    plan.explanation += "; federated: " +
+                        std::to_string(outcome.federated_silos) + " silos, " +
+                        std::to_string(outcome.federated_rounds) +
+                        " rounds, " +
+                        std::to_string(outcome.bytes_transferred) +
+                        " bytes transferred";
+  }
 
   ModelHandle model;
   model.name_ = model_name;

@@ -86,35 +86,63 @@ Result<TrainOutcome> Executor::Run(const metadata::DiMetadata& metadata,
         return Status::Unimplemented(
             "federated execution currently supports linear regression");
       }
-      AMALUR_ASSIGN_OR_RETURN(federated::VflAlignment alignment,
-                              federated::AlignForVfl(metadata, *label_index));
+      // The integration's shape picks the protocol: horizontally
+      // partitioned scenarios (unions, union-of-stars) run FedAvg with one
+      // participant per fact shard; vertically partitioned ones (pairwise
+      // joins, stars, snowflakes — whose silos carry composed indicator
+      // blocks) run the n-ary vertical FLR with one party per silo.
       federated::MessageBus bus;
+      if (metadata.IsHorizontallyPartitioned()) {
+        AMALUR_ASSIGN_OR_RETURN(std::vector<federated::HflPartition> shards,
+                                federated::AlignForHfl(metadata, *label_index));
+        federated::HflOptions options;
+        options.rounds = request.gd.iterations;
+        options.local_epochs = 1;
+        options.learning_rate = request.gd.learning_rate;
+        options.l2 = request.gd.l2;
+        options.secure_aggregation =
+            request.privacy != federated::VflPrivacy::kPlaintext;
+        AMALUR_ASSIGN_OR_RETURN(
+            federated::HflResult result,
+            federated::TrainHorizontalFlr(shards, options, &bus));
+        // AlignForHfl builds features as the target schema minus the label,
+        // so the global model is already in target-feature order.
+        outcome.weights = std::move(result.weights);
+        outcome.loss_history = std::move(result.loss_history);
+        outcome.bytes_transferred = result.bytes_transferred;
+        outcome.federated_silos = shards.size();
+        outcome.federated_rounds = options.rounds;
+        break;
+      }
+      AMALUR_ASSIGN_OR_RETURN(
+          federated::NaryVflAlignment alignment,
+          federated::AlignForVflNary(metadata, *label_index));
       federated::VflOptions options;
       options.iterations = request.gd.iterations;
       options.learning_rate = request.gd.learning_rate;
       options.l2 = request.gd.l2;
       options.privacy = request.privacy;
       AMALUR_ASSIGN_OR_RETURN(
-          federated::VflResult result,
-          federated::TrainVerticalFlr(alignment.xa, alignment.labels,
-                                      alignment.xb, options, &bus));
-      // Re-assemble [θ_A; θ_B] into target-feature order (feature index =
-      // target column index minus the label offset).
-      outcome.weights =
-          la::DenseMatrix(metadata.target_cols() - 1, 1);
+          federated::NaryVflResult result,
+          federated::TrainVerticalFlrNary(alignment.parties, alignment.labels,
+                                          options, &bus));
+      // Re-assemble [θ_0; ...; θ_{N−1}] into target-feature order (feature
+      // index = target column index minus the label offset).
+      outcome.weights = la::DenseMatrix(metadata.target_cols() - 1, 1);
       auto feature_index = [&](size_t target_col) {
         return target_col < *label_index ? target_col : target_col - 1;
       };
-      for (size_t j = 0; j < alignment.a_columns.size(); ++j) {
-        outcome.weights.At(feature_index(alignment.a_columns[j]), 0) =
-            result.theta_a.At(j, 0);
-      }
-      for (size_t j = 0; j < alignment.b_columns.size(); ++j) {
-        outcome.weights.At(feature_index(alignment.b_columns[j]), 0) =
-            result.theta_b.At(j, 0);
+      for (size_t k = 0; k < alignment.parties.size(); ++k) {
+        const federated::VflParty& party = alignment.parties[k];
+        for (size_t j = 0; j < party.columns.size(); ++j) {
+          outcome.weights.At(feature_index(party.columns[j]), 0) =
+              result.thetas[k].At(j, 0);
+        }
       }
       outcome.loss_history = std::move(result.loss_history);
       outcome.bytes_transferred = result.bytes_transferred;
+      outcome.federated_silos = alignment.parties.size();
+      outcome.federated_rounds = result.rounds;
       break;
     }
   }

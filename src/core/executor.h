@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/optimizer.h"
 #include "factorized/factorized_table.h"
+#include "federated/hfl.h"
 #include "federated/vfl.h"
 #include "metadata/di_metadata.h"
 #include "ml/linear_models.h"
@@ -17,7 +18,11 @@
 /// Plan execution (Figure 3's "Optimization & Execution"): compiles the
 /// optimizer's plan into the concrete training run — a factorized trainer
 /// over silo matrices, a materialized trainer over the exported target, or
-/// the federated protocol — and reports what actually ran.
+/// a federated protocol picked by the integration's shape: vertically
+/// partitioned scenarios (pairwise joins, stars, snowflakes) run the n-ary
+/// vertical FLR with one party per silo, horizontally partitioned ones
+/// (unions, union-of-stars) run FedAvg with one participant per fact
+/// shard — and reports what actually ran.
 
 namespace amalur {
 namespace core {
@@ -36,7 +41,10 @@ struct TrainRequest {
   /// Target-schema column holding the label.
   std::string label_column = "y";
   ml::GradientDescentOptions gd;
-  /// Federated wire protection (only used by federated plans).
+  /// Federated wire protection (only used by federated plans). Vertical
+  /// runs take it literally (plaintext vs Paillier residual exchange);
+  /// horizontal runs map any non-plaintext setting to secure aggregation
+  /// over additive secret shares.
   federated::VflPrivacy privacy = federated::VflPrivacy::kPlaintext;
   /// Worker threads for the training kernels. 0 keeps the runtime default
   /// (`AMALUR_NUM_THREADS`, else hardware concurrency); 1 forces serial
@@ -55,14 +63,20 @@ struct TrainRequest {
 /// The result of an executed plan.
 struct TrainOutcome {
   ExecutionStrategy strategy_used = ExecutionStrategy::kMaterialize;
-  /// Final weights in target-feature order. For federated runs this is the
-  /// concatenation [θ_A; θ_B] re-ordered to target columns.
+  /// Final weights in target-feature order. For federated runs the
+  /// per-party blocks [θ_0; ...; θ_{N−1}] (vertical) or the FedAvg global
+  /// model (horizontal) are re-ordered to target columns.
   la::DenseMatrix weights;
   std::vector<double> loss_history;
   /// Wall-clock of the training run (excludes metadata derivation).
   double seconds = 0.0;
   /// Bytes moved between parties (federated runs only).
   size_t bytes_transferred = 0;
+  /// Federated runs only: number of participating silos (feature-holding
+  /// parties for vertical runs, fact shards for horizontal runs) and
+  /// protocol rounds executed. Zero for non-federated plans.
+  size_t federated_silos = 0;
+  size_t federated_rounds = 0;
   /// Parallelism the kernels actually ran with: the requested count (the
   /// request's `num_threads` when set, else the runtime default) capped by
   /// the pool's capacity. Chunk-geometry determinism follows the *requested*
@@ -78,8 +92,10 @@ struct TrainOutcome {
 /// Executes plans against derived metadata.
 class Executor {
  public:
-  /// Runs `request` under `plan`. For federated plans the scenario must be
-  /// VFL-compatible (shared sample space) and the task linear regression.
+  /// Runs `request` under `plan`. Federated plans require the linear
+  /// regression task; vertical scenarios additionally need the shared
+  /// sample space (every silo contributes every target row), horizontal
+  /// ones >= 2 fact shards.
   Result<TrainOutcome> Run(const metadata::DiMetadata& metadata,
                            const Plan& plan, const TrainRequest& request) const;
 };

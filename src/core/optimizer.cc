@@ -26,10 +26,21 @@ Plan Optimizer::Choose(const metadata::DiMetadata& metadata,
       metadata::IntegrationShapeToString(metadata.shape()) + "; ";
   if (privacy_constrained) {
     plan.strategy = ExecutionStrategy::kFederate;
+    // The shape picks the federated protocol (§V): horizontally
+    // partitioned scenarios run FedAvg per fact shard, vertically
+    // partitioned ones the n-ary vertical FLR per silo. The same predicate
+    // drives the executor's dispatch, so the explanation cannot drift from
+    // what actually runs.
+    const std::string protocol =
+        metadata.IsHorizontallyPartitioned()
+            ? "horizontal FedAvg over " +
+                  std::to_string(metadata.num_shards()) + " fact shards"
+            : "vertical n-ary FLR over " +
+                  std::to_string(metadata.num_sources()) + " silos";
     plan.explanation =
         shape_prefix +
         "privacy constraint: source data may not leave its silo; the "
-        "learning process is split across silos";
+        "learning process is split across silos (" + protocol + ")";
     return plan;
   }
   const cost::CostFeatures features = cost::CostFeatures::FromMetadata(metadata);

@@ -1,5 +1,6 @@
 #include "federated/hfl.h"
 
+#include "common/parallel_for.h"
 #include "common/rng.h"
 #include "federated/secret_sharing.h"
 #include "ml/metrics.h"
@@ -47,23 +48,33 @@ Result<HflResult> TrainHorizontalFlr(const std::vector<HflPartition>& parties,
     }
 
     // Each party: local GD epochs from the broadcast model, then submit the
-    // row-weighted model n_p·w_p (so the server average is weighted).
-    std::vector<la::DenseMatrix> weighted_models;
+    // row-weighted model n_p·w_p (so the server average is weighted). Bus
+    // receives are serial; the per-party epochs — independent by
+    // construction — fan out over the shared pool, one party per slot
+    // (fixed-order merge), so rounds are bitwise-reproducible at any
+    // thread count.
+    std::vector<la::DenseMatrix> weighted_models(parties.size());
     for (size_t p = 0; p < parties.size(); ++p) {
-      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix local,
+      AMALUR_ASSIGN_OR_RETURN(weighted_models[p],
                               bus->Receive("server", PartyName(p)));
-      const la::DenseMatrix& x = parties[p].features;
-      const la::DenseMatrix& y = parties[p].labels;
-      const double inv_rows = 1.0 / static_cast<double>(x.rows());
-      for (size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
-        la::DenseMatrix residual = x.Multiply(local).Subtract(y);
-        la::DenseMatrix gradient = x.TransposeMultiply(residual);
-        gradient.ScaleInPlace(inv_rows);
-        local.AddScaled(gradient, -options.learning_rate);
-      }
-      local.ScaleInPlace(static_cast<double>(x.rows()));
-      weighted_models.push_back(std::move(local));
     }
+    common::ParallelForChunks(
+        0, parties.size(), 1, [&](size_t, size_t begin, size_t end) {
+          for (size_t p = begin; p < end; ++p) {
+            la::DenseMatrix& local = weighted_models[p];
+            const la::DenseMatrix& x = parties[p].features;
+            const la::DenseMatrix& y = parties[p].labels;
+            const double inv_rows = 1.0 / static_cast<double>(x.rows());
+            for (size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
+              la::DenseMatrix residual = x.Multiply(local).Subtract(y);
+              la::DenseMatrix gradient = x.TransposeMultiply(residual);
+              gradient.ScaleInPlace(inv_rows);
+              if (options.l2 > 0.0) gradient.AddScaled(local, options.l2);
+              local.AddScaled(gradient, -options.learning_rate);
+            }
+            local.ScaleInPlace(static_cast<double>(x.rows()));
+          }
+        });
 
     // Aggregation.
     la::DenseMatrix aggregate(d, 1);
@@ -131,5 +142,73 @@ Result<HflResult> TrainHorizontalFlr(const std::vector<HflPartition>& parties,
   return result;
 }
 
+Result<std::vector<HflPartition>> AlignForHfl(
+    const metadata::DiMetadata& metadata, size_t label_column) {
+  if (metadata.num_shards() < 2) {
+    return Status::FailedPrecondition(
+        "horizontal federation needs >= 2 fact shards (a union or "
+        "union-of-stars scenario)");
+  }
+  if (label_column >= metadata.target_cols()) {
+    return Status::OutOfRange("label column out of range");
+  }
+  std::vector<size_t> feature_columns;
+  for (size_t j = 0; j < metadata.target_cols(); ++j) {
+    if (j != label_column) feature_columns.push_back(j);
+  }
+
+  // One dense block per shard, covering exactly that shard's target rows.
+  std::vector<la::DenseMatrix> shard_blocks;
+  shard_blocks.reserve(metadata.num_shards());
+  for (size_t s = 0; s < metadata.num_shards(); ++s) {
+    shard_blocks.emplace_back(
+        metadata.ShardRowEnd(s) - metadata.ShardRowBegin(s),
+        metadata.target_cols());
+  }
+  // Each silo adds its masked contribution T_k ∘ R_k into its own shard's
+  // block only, built at the block's height: D_k M_kᵀ is silo-sized, rows
+  // route through CI_k restricted to [begin, end), and redundancy-masked
+  // cells are simply not added. No full-target temporary, no cross-shard
+  // data.
+  for (size_t k = 0; k < metadata.num_sources(); ++k) {
+    const metadata::SourceMetadata& source = metadata.source(k);
+    const size_t s = metadata.shard_of(k);
+    const size_t begin = metadata.ShardRowBegin(s);
+    const size_t end = metadata.ShardRowEnd(s);
+    const la::DenseMatrix expanded = source.mapping.ExpandColumns(source.data);
+    la::DenseMatrix& block = shard_blocks[s];
+    const auto& masked_sets = source.redundancy.column_sets();
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t source_row = source.indicator.At(i);
+      if (source_row < 0) continue;
+      const double* in = expanded.RowPtr(static_cast<size_t>(source_row));
+      double* out = block.RowPtr(i - begin);
+      for (size_t j = 0; j < metadata.target_cols(); ++j) out[j] += in[j];
+      const int32_t set_id = source.redundancy.row_set(i);
+      if (set_id >= 0) {
+        for (size_t j : masked_sets[static_cast<size_t>(set_id)]) {
+          out[j] -= in[j];  // masked cell: contributed upstream, not here
+        }
+      }
+    }
+  }
+
+  std::vector<HflPartition> partitions;
+  partitions.reserve(metadata.num_shards());
+  for (la::DenseMatrix& block : shard_blocks) {
+    if (block.rows() == 0) {
+      return Status::FailedPrecondition(
+          "a fact shard contributes no target rows; horizontal federation "
+          "needs a non-empty partition per shard");
+    }
+    HflPartition partition;
+    partition.features = block.SelectColumns(feature_columns);
+    partition.labels = block.SelectColumns({label_column});
+    partitions.push_back(std::move(partition));
+  }
+  return partitions;
+}
+
 }  // namespace federated
 }  // namespace amalur
+

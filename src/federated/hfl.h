@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "federated/message_bus.h"
 #include "la/dense_matrix.h"
+#include "metadata/di_metadata.h"
 
 /// \file hfl.h
 /// Horizontal federated learning (FedAvg) for the union scenario (Example 4
@@ -13,7 +14,11 @@
 /// Each round every party runs local gradient steps and the server averages
 /// the models, optionally through *secure aggregation* built on additive
 /// secret sharing — the server only ever sees the sum of the updates, never
-/// an individual party's model.
+/// an individual party's model. Union-of-stars integrations are naturally
+/// horizontally partitioned — one FedAvg participant per fact shard
+/// (`AlignForHfl`) — and per-party local work fans out over the shared pool
+/// with a fixed-order merge, so rounds are bitwise-reproducible at any
+/// thread count.
 
 namespace amalur {
 namespace federated {
@@ -29,6 +34,8 @@ struct HflOptions {
   size_t rounds = 30;
   size_t local_epochs = 1;
   double learning_rate = 0.1;
+  /// L2 regularization strength of the local gradient steps (0 = off).
+  double l2 = 0.0;
   /// Aggregate updates via additive secret sharing instead of plaintext.
   bool secure_aggregation = true;
   uint64_t seed = 7;
@@ -46,6 +53,16 @@ struct HflResult {
 /// Runs FedAvg linear regression over the partitions.
 Result<HflResult> TrainHorizontalFlr(const std::vector<HflPartition>& parties,
                                      const HflOptions& options, MessageBus* bus);
+
+/// Builds one horizontal partition per fact shard of a union (pairwise) or
+/// union-of-stars integration: shard s's partition covers its contiguous
+/// target-row block, assembled only from the shard's own silos (its fact
+/// plus that fact's dimension subtree) — no cross-shard data is
+/// materialized. Features are the target schema minus `label_column`, in
+/// target order, so the FedAvg global model lands directly in
+/// target-feature order.
+Result<std::vector<HflPartition>> AlignForHfl(
+    const metadata::DiMetadata& metadata, size_t label_column);
 
 }  // namespace federated
 }  // namespace amalur

@@ -1,5 +1,7 @@
 #include "federated/message_bus.h"
 
+#include "common/logging.h"
+
 namespace amalur {
 namespace federated {
 
@@ -23,6 +25,17 @@ void MessageBus::SendBytes(const std::string& from, const std::string& to,
   const Channel channel{from, to};
   Account(channel, payload.size() * sizeof(uint64_t));
   byte_queues_[channel].push_back(std::move(payload));
+}
+
+void MessageBus::SendCiphertextWords(const std::string& from,
+                                     const std::string& to,
+                                     std::vector<uint64_t> packed) {
+  AMALUR_CHECK_EQ(packed.size() % 2, 0u)
+      << "ciphertext payloads are (lo, hi) word pairs";
+  const size_t ciphertexts = packed.size() / 2;
+  const Channel channel{from, to};
+  Account(channel, ciphertexts * kCiphertextWireBytes);
+  byte_queues_[channel].push_back(std::move(packed));
 }
 
 Result<la::DenseMatrix> MessageBus::Receive(const std::string& from,

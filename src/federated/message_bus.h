@@ -29,6 +29,15 @@ struct TransferStats {
 /// Synchronous in-process message bus with byte accounting.
 class MessageBus {
  public:
+  /// Serialized wire size of one Paillier ciphertext: the (lo, hi) word
+  /// pair `PackCiphertexts` emits — 16 bytes, 2x the plaintext-double rate.
+  /// Ciphertext traffic is metered per *ciphertext* at this constant (via
+  /// `SendCiphertextWords`, which also CHECKs the payload shape), never per
+  /// value at the plaintext-double rate — a protocol metering encrypted
+  /// payloads as if they were doubles would under-count and hide the §V.B
+  /// encryption blow-up from `bytes_transferred`.
+  static constexpr size_t kCiphertextWireBytes = 16;
+
   /// Sends a dense payload from `from` to `to`. Payload bytes are
   /// 8 per cell plus a fixed 32-byte envelope.
   void Send(const std::string& from, const std::string& to,
@@ -37,6 +46,17 @@ class MessageBus {
   /// Sends an opaque byte payload (already-encrypted data).
   void SendBytes(const std::string& from, const std::string& to,
                  std::vector<uint64_t> payload);
+
+  /// Sends a packed ciphertext payload (`PackCiphertexts` output: 2 words
+  /// per ciphertext). Accounted at `kCiphertextWireBytes` per ciphertext —
+  /// the serialized ciphertext size — and rejects payloads that are not
+  /// whole (lo, hi) pairs, so a protocol cannot accidentally ship (and
+  /// meter) half-width ciphertexts at the plaintext-double rate. For a
+  /// well-formed packing this coincides with `SendBytes`'s raw word rate;
+  /// the typed path exists to keep that true by construction (the shape
+  /// CHECK plus one named constant) rather than by caller discipline.
+  void SendCiphertextWords(const std::string& from, const std::string& to,
+                           std::vector<uint64_t> packed);
 
   /// Pops the oldest dense payload on the channel; error when empty.
   Result<la::DenseMatrix> Receive(const std::string& from, const std::string& to);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel_for.h"
 #include "common/rng.h"
 #include "federated/paillier.h"
 #include "ml/metrics.h"
@@ -48,29 +49,50 @@ double DecodeScaled(uint64_t message, uint64_t n, double scale_squared) {
   return static_cast<double>(message) / scale_squared;
 }
 
+std::string DefaultPartyName(size_t k) { return "P" + std::to_string(k); }
+
 }  // namespace
 
-Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
-                                   const la::DenseMatrix& labels,
-                                   const la::DenseMatrix& xb,
-                                   const VflOptions& options, MessageBus* bus) {
+Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
+                                           const la::DenseMatrix& labels,
+                                           const VflOptions& options,
+                                           MessageBus* bus) {
   if (bus == nullptr) return Status::InvalidArgument("bus must not be null");
-  if (xa.rows() != xb.rows() || labels.rows() != xa.rows() ||
-      labels.cols() != 1) {
-    return Status::InvalidArgument(
-        "xa, xb and labels must be row-aligned; labels must be n×1");
+  const size_t n_parties = parties.size();
+  if (n_parties < 2) {
+    return Status::InvalidArgument("vertical FLR needs at least two parties");
   }
-  const size_t n_rows = xa.rows();
+  const size_t n_rows = parties[0].x.rows();
+  if (labels.rows() != n_rows || labels.cols() != 1) {
+    return Status::InvalidArgument(
+        "party blocks and labels must be row-aligned; labels must be n×1");
+  }
+  for (size_t k = 1; k < n_parties; ++k) {
+    if (parties[k].x.rows() != n_rows) {
+      return Status::InvalidArgument(
+          "party blocks and labels must be row-aligned; labels must be n×1");
+    }
+  }
   if (n_rows == 0) return Status::InvalidArgument("no training rows");
   const double inv_n = 1.0 / static_cast<double>(n_rows);
 
-  VflResult result{la::DenseMatrix(xa.cols(), 1), la::DenseMatrix(xb.cols(), 1),
-                   {}, 0, 0};
+  std::vector<std::string> names(n_parties);
+  for (size_t k = 0; k < n_parties; ++k) {
+    names[k] = parties[k].name.empty() ? DefaultPartyName(k) : parties[k].name;
+  }
+
+  NaryVflResult result;
+  result.thetas.reserve(n_parties);
+  for (size_t k = 0; k < n_parties; ++k) {
+    result.thetas.emplace_back(parties[k].x.cols(), 1);
+  }
+  result.rounds = options.iterations;
   bus->Reset();
   Rng rng(options.seed);
 
-  // Coordinator C owns the Paillier keys in the secure mode; A and B use
-  // the public key only. (GenerateKeys is deterministic in the seed.)
+  // Coordinator C owns the Paillier keys in the secure mode; the data
+  // parties use the public key only. (GenerateKeys is deterministic in the
+  // seed.)
   Paillier paillier(Paillier::GenerateKeys(options.seed ^ 0xC0FFEE,
                                            options.paillier_prime_bits),
                     options.fractional_bits);
@@ -79,50 +101,97 @@ Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
   const double scale_squared = scale * scale;
   const uint64_t n_pub = paillier.public_key().n;
 
+  std::vector<la::DenseMatrix> u(n_parties);
+  std::vector<la::DenseMatrix> gradients(n_parties);
   for (size_t it = 0; it < options.iterations; ++it) {
-    // Local forward passes.
-    la::DenseMatrix ua = xa.Multiply(result.theta_a);  // at A
-    la::DenseMatrix ub = xb.Multiply(result.theta_b);  // at B
-
     if (options.privacy == VflPrivacy::kPlaintext) {
-      // B -> A: u_B; A forms the residual d and the loss, A -> B: d.
-      bus->Send("B", "A", ub);
-      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix ub_at_a, bus->Receive("B", "A"));
-      la::DenseMatrix predictions = ua.Add(ub_at_a);
+      // Local forward passes, one silo per slot — fixed-order merge keeps
+      // the round bitwise-reproducible at any thread count.
+      common::ParallelForChunks(
+          0, n_parties, 1, [&](size_t, size_t begin, size_t end) {
+            for (size_t k = begin; k < end; ++k) {
+              u[k] = parties[k].x.Multiply(result.thetas[k]);
+            }
+          });
+
+      // Parties -> label party: u_k; the label party forms the residual d
+      // and the loss, then broadcasts d.
+      for (size_t k = 1; k < n_parties; ++k) {
+        bus->Send(names[k], names[0], u[k]);
+      }
+      la::DenseMatrix predictions = u[0];
+      for (size_t k = 1; k < n_parties; ++k) {
+        AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix u_at_root,
+                                bus->Receive(names[k], names[0]));
+        predictions = predictions.Add(u_at_root);
+      }
       la::DenseMatrix d = predictions.Subtract(labels);
       result.loss_history.push_back(ml::MeanSquaredError(predictions, labels));
-      bus->Send("A", "B", d);
-      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix d_at_b, bus->Receive("A", "B"));
-
-      la::DenseMatrix grad_a = xa.TransposeMultiply(d).Scale(inv_n);
-      la::DenseMatrix grad_b = xb.TransposeMultiply(d_at_b).Scale(inv_n);
-      if (options.l2 > 0.0) {
-        grad_a.AddScaled(result.theta_a, options.l2);
-        grad_b.AddScaled(result.theta_b, options.l2);
+      for (size_t k = 1; k < n_parties; ++k) {
+        bus->Send(names[0], names[k], d);
       }
-      result.theta_a.AddScaled(grad_a, -options.learning_rate);
-      result.theta_b.AddScaled(grad_b, -options.learning_rate);
+      std::vector<la::DenseMatrix> d_at(n_parties);
+      d_at[0] = std::move(d);
+      for (size_t k = 1; k < n_parties; ++k) {
+        AMALUR_ASSIGN_OR_RETURN(d_at[k], bus->Receive(names[0], names[k]));
+      }
+
+      // Local gradient steps, again one silo per slot.
+      common::ParallelForChunks(
+          0, n_parties, 1, [&](size_t, size_t begin, size_t end) {
+            for (size_t k = begin; k < end; ++k) {
+              gradients[k] =
+                  parties[k].x.TransposeMultiply(d_at[k]).Scale(inv_n);
+            }
+          });
+      for (size_t k = 0; k < n_parties; ++k) {
+        if (options.l2 > 0.0) {
+          gradients[k].AddScaled(result.thetas[k], options.l2);
+        }
+        result.thetas[k].AddScaled(gradients[k], -options.learning_rate);
+      }
       continue;
     }
 
     // ---- Paillier protocol (semi-honest, coordinator C holds the keys).
-    // A -> B: [[u_A − y]]; B forms [[d]] = [[u_A − y]] ⊕ [[u_B]].
-    la::DenseMatrix ua_minus_y = ua.Subtract(labels);
-    std::vector<PaillierCiphertext> enc_ua_y =
-        paillier.EncryptMatrix(ua_minus_y, &rng);
-    bus->SendBytes("A", "B", PackCiphertexts(enc_ua_y));
-    AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words_at_b,
-                            bus->ReceiveBytes("A", "B"));
-    std::vector<PaillierCiphertext> enc_d = UnpackCiphertexts(words_at_b);
-    for (size_t i = 0; i < n_rows; ++i) {
-      enc_d[i] = paillier.CipherAdd(
-          enc_d[i], paillier.EncryptDouble(ub.At(i, 0), &rng));
+    // The encrypted partial-prediction sum travels a ring: party 0 sends
+    // [[u_0 − y]] to party 1, each party k adds [[u_k]], and the last party
+    // holds [[d]] = [[Σ_k u_k − y]]. Serial: the shared RNG threads through
+    // every encryption in protocol order.
+    for (size_t k = 0; k < n_parties; ++k) {
+      u[k] = parties[k].x.Multiply(result.thetas[k]);
     }
-    // B -> A: [[d]] so A can also compute its gradient homomorphically.
-    bus->SendBytes("B", "A", PackCiphertexts(enc_d));
-    AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words_at_a,
-                            bus->ReceiveBytes("B", "A"));
-    std::vector<PaillierCiphertext> enc_d_at_a = UnpackCiphertexts(words_at_a);
+    la::DenseMatrix u0_minus_y = u[0].Subtract(labels);
+    std::vector<PaillierCiphertext> enc_sum =
+        paillier.EncryptMatrix(u0_minus_y, &rng);
+    bus->SendCiphertextWords(names[0], names[1], PackCiphertexts(enc_sum));
+    for (size_t k = 1; k < n_parties; ++k) {
+      AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                              bus->ReceiveBytes(names[k - 1], names[k]));
+      enc_sum = UnpackCiphertexts(words);
+      for (size_t i = 0; i < n_rows; ++i) {
+        enc_sum[i] = paillier.CipherAdd(
+            enc_sum[i], paillier.EncryptDouble(u[k].At(i, 0), &rng));
+      }
+      if (k + 1 < n_parties) {
+        bus->SendCiphertextWords(names[k], names[k + 1],
+                                 PackCiphertexts(enc_sum));
+      }
+    }
+    // The last party broadcasts [[d]] so every silo can compute its
+    // gradient homomorphically.
+    const size_t last = n_parties - 1;
+    std::vector<std::vector<PaillierCiphertext>> enc_d_at(n_parties);
+    for (size_t k = 0; k < last; ++k) {
+      bus->SendCiphertextWords(names[last], names[k],
+                               PackCiphertexts(enc_sum));
+    }
+    for (size_t k = 0; k < last; ++k) {
+      AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                              bus->ReceiveBytes(names[last], names[k]));
+      enc_d_at[k] = UnpackCiphertexts(words);
+    }
+    enc_d_at[last] = enc_sum;
 
     // Each party computes its masked encrypted gradient and routes it
     // through C for decryption; C only ever sees gradient + mask.
@@ -143,7 +212,7 @@ Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
         enc_grad[j] =
             paillier.CipherAdd(enc_grad[j], paillier.EncryptRaw(message, &rng));
       }
-      bus->SendBytes(party, "C", PackCiphertexts(enc_grad));
+      bus->SendCiphertextWords(party, "C", PackCiphertexts(enc_grad));
       AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> at_c,
                               bus->ReceiveBytes(party, "C"));
       std::vector<PaillierCiphertext> ciphers = UnpackCiphertexts(at_c);
@@ -158,25 +227,23 @@ Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
       return back;
     };
 
-    AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix grad_a,
-                            masked_gradient(xa, enc_d_at_a, "A"));
-    AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix grad_b,
-                            masked_gradient(xb, enc_d, "B"));
-    grad_a.ScaleInPlace(inv_n);
-    grad_b.ScaleInPlace(inv_n);
-    if (options.l2 > 0.0) {
-      grad_a.AddScaled(result.theta_a, options.l2);
-      grad_b.AddScaled(result.theta_b, options.l2);
+    for (size_t k = 0; k < n_parties; ++k) {
+      AMALUR_ASSIGN_OR_RETURN(
+          la::DenseMatrix gradient,
+          masked_gradient(parties[k].x, enc_d_at[k], names[k]));
+      gradient.ScaleInPlace(inv_n);
+      if (options.l2 > 0.0) {
+        gradient.AddScaled(result.thetas[k], options.l2);
+      }
+      result.thetas[k].AddScaled(gradient, -options.learning_rate);
     }
-    result.theta_a.AddScaled(grad_a, -options.learning_rate);
-    result.theta_b.AddScaled(grad_b, -options.learning_rate);
 
     // Telemetry: C decrypts the residual to report the training loss. This
     // is an observability concession of the harness (documented), not part
     // of the privacy protocol.
     double loss = 0.0;
     for (size_t i = 0; i < n_rows; ++i) {
-      const double di = paillier.DecryptDouble(enc_d[i]);
+      const double di = paillier.DecryptDouble(enc_sum[i]);
       loss += di * di;
     }
     result.loss_history.push_back(loss * inv_n);
@@ -187,58 +254,106 @@ Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
   return result;
 }
 
-Result<VflAlignment> AlignForVfl(const metadata::DiMetadata& metadata,
-                                 size_t label_column) {
-  if (metadata.num_sources() != 2) {
-    return Status::Unimplemented("VFL alignment handles two parties");
+Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
+                                   const la::DenseMatrix& labels,
+                                   const la::DenseMatrix& xb,
+                                   const VflOptions& options, MessageBus* bus) {
+  std::vector<VflParty> parties(2);
+  parties[0].name = "A";
+  parties[0].x = xa;
+  parties[1].name = "B";
+  parties[1].x = xb;
+  AMALUR_ASSIGN_OR_RETURN(NaryVflResult nary,
+                          TrainVerticalFlrNary(parties, labels, options, bus));
+  VflResult result;
+  result.theta_a = std::move(nary.thetas[0]);
+  result.theta_b = std::move(nary.thetas[1]);
+  result.loss_history = std::move(nary.loss_history);
+  result.bytes_transferred = nary.bytes_transferred;
+  result.messages = nary.messages;
+  return result;
+}
+
+Result<NaryVflAlignment> AlignForVflNary(const metadata::DiMetadata& metadata,
+                                         size_t label_column) {
+  const size_t n_sources = metadata.num_sources();
+  if (n_sources < 2) {
+    return Status::InvalidArgument("VFL alignment needs >= 2 sources");
   }
   if (label_column >= metadata.target_cols()) {
     return Status::OutOfRange("label column out of range");
   }
   // The VFL setting requires a shared sample space: every target row must be
-  // contributed by both parties (Example 2, inner join).
-  for (size_t k = 0; k < 2; ++k) {
+  // contributed by every silo (Example 2's inner join generalized to fully
+  // covering stars and snowflakes, whose composed indicators DeriveGraph
+  // assigned per silo).
+  for (size_t k = 0; k < n_sources; ++k) {
     if (metadata.source(k).indicator.ContributedRows() !=
         metadata.target_rows()) {
       return Status::FailedPrecondition(
           "source ", k, " does not cover the full sample space; VFL needs an "
-          "inner-join scenario");
+          "inner-join scenario (or a fully covering star/snowflake)");
     }
   }
-
-  // Masked contributions: overlapping columns are provided by the base
-  // party only, so the two feature blocks are disjoint by construction.
-  la::DenseMatrix t0 = metadata.SourceContribution(0);
-  la::DenseMatrix t1 = metadata.SourceContribution(1);
-  metadata.source(0).redundancy.ApplyInPlace(&t0);
-  metadata.source(1).redundancy.ApplyInPlace(&t1);
-
-  VflAlignment alignment;
-  // Label comes from the base party.
-  const auto label_source = metadata.source(0).mapping.At(label_column);
-  if (label_source < 0) {
+  // The label lives with the fact root (party 0).
+  if (metadata.source(0).mapping.At(label_column) < 0) {
     return Status::FailedPrecondition("base party does not hold the label");
   }
-  alignment.labels = la::DenseMatrix(metadata.target_rows(), 1);
-  for (size_t i = 0; i < metadata.target_rows(); ++i) {
-    alignment.labels.At(i, 0) = t0.At(i, label_column);
-  }
 
-  // Party A: base-mapped feature columns; party B: its mapped columns that
-  // are not masked everywhere (i.e. not fully redundant).
-  for (size_t c : metadata.source(0).mapping.MappedTargetColumns()) {
-    if (c != label_column) alignment.a_columns.push_back(c);
-  }
-  for (size_t c : metadata.source(1).mapping.MappedTargetColumns()) {
-    if (c == label_column) continue;
-    bool contributes = false;
-    for (size_t i = 0; i < metadata.target_rows() && !contributes; ++i) {
-      contributes = !metadata.source(1).redundancy.IsRedundant(i, c);
+  NaryVflAlignment alignment;
+  alignment.parties.resize(n_sources);
+  // Which silo owns each target column: the redundancy chain guarantees
+  // that under full row coverage every column is provided by exactly one
+  // silo (earlier sources mask later copies everywhere); -1 = unclaimed.
+  std::vector<int64_t> owner(metadata.target_cols(), -1);
+  for (size_t k = 0; k < n_sources; ++k) {
+    VflParty& party = alignment.parties[k];
+    party.name = DefaultPartyName(k);
+    // Masked contribution: T_k ∘ R_k — built silo-locally from the silo's
+    // own (composed) indicator/mapping/redundancy triple.
+    la::DenseMatrix t_k = metadata.SourceContribution(k);
+    metadata.source(k).redundancy.ApplyInPlace(&t_k);
+    if (k == 0) {
+      alignment.labels = la::DenseMatrix(metadata.target_rows(), 1);
+      for (size_t i = 0; i < metadata.target_rows(); ++i) {
+        alignment.labels.At(i, 0) = t_k.At(i, label_column);
+      }
     }
-    if (contributes) alignment.b_columns.push_back(c);
+    for (size_t c : metadata.source(k).mapping.MappedTargetColumns()) {
+      if (c == label_column) continue;
+      bool contributes = false;
+      for (size_t i = 0; i < metadata.target_rows() && !contributes; ++i) {
+        contributes = !metadata.source(k).redundancy.IsRedundant(i, c);
+      }
+      if (!contributes) continue;  // fully redundant: provided upstream
+      if (owner[c] != -1) {
+        return Status::FailedPrecondition(
+            "target column ", c, " is contributed by silos ", owner[c],
+            " and ", k,
+            "; vertical federation needs each feature column owned by "
+            "exactly one silo");
+      }
+      owner[c] = static_cast<int64_t>(k);
+      party.columns.push_back(c);
+    }
+    party.x = t_k.SelectColumns(party.columns);
   }
-  alignment.xa = t0.SelectColumns(alignment.a_columns);
-  alignment.xb = t1.SelectColumns(alignment.b_columns);
+  return alignment;
+}
+
+Result<VflAlignment> AlignForVfl(const metadata::DiMetadata& metadata,
+                                 size_t label_column) {
+  if (metadata.num_sources() != 2) {
+    return Status::Unimplemented("VFL alignment handles two parties");
+  }
+  AMALUR_ASSIGN_OR_RETURN(NaryVflAlignment nary,
+                          AlignForVflNary(metadata, label_column));
+  VflAlignment alignment;
+  alignment.xa = std::move(nary.parties[0].x);
+  alignment.xb = std::move(nary.parties[1].x);
+  alignment.labels = std::move(nary.labels);
+  alignment.a_columns = std::move(nary.parties[0].columns);
+  alignment.b_columns = std::move(nary.parties[1].columns);
   return alignment;
 }
 

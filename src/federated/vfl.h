@@ -11,16 +11,23 @@
 
 /// \file vfl.h
 /// Vertical federated linear regression (FLR) after Yang et al. [35] and
-/// §V.A of the paper: party A holds features X_A and the labels, party B
-/// holds X_B over the *same aligned rows*; the objective is
+/// §V.A of the paper, generalized to N feature-holding silos: party 0 holds
+/// features X_0 and the labels, parties 1..N−1 hold X_1..X_{N−1} over the
+/// *same aligned rows*; the objective is
 ///
-///     min_{Θ_A, Θ_B} Σ_i (Θ_A X_A⁽ⁱ⁾ + Θ_B X_B⁽ⁱ⁾ − Y⁽ⁱ⁾)².
+///     min_{Θ_0..Θ_{N−1}} Σ_i (Σ_k Θ_k X_k⁽ⁱ⁾ − Y⁽ⁱ⁾)².
 ///
-/// Two wire modes: plaintext (baseline) and Paillier (the secure protocol:
-/// residuals travel encrypted, gradients are computed homomorphically by
-/// the data parties and decrypted by a coordinator that only ever sees
-/// masked gradients). All traffic flows through the `MessageBus`, so the
-/// encryption blow-up of §V.B is directly measurable.
+/// Two wire modes: plaintext (baseline — partial predictions are summed at
+/// the label party, the residual is broadcast back) and Paillier (the
+/// secure protocol: the encrypted partial-prediction sum travels a ring
+/// through every party, the residual stays encrypted, gradients are
+/// computed homomorphically by the data parties and decrypted by a
+/// coordinator that only ever sees masked gradients). All traffic flows
+/// through the `MessageBus`, so the encryption blow-up of §V.B is directly
+/// measurable. At N = 2 both wire modes reproduce the historical pairwise
+/// protocol bit for bit (messages, RNG schedule and arithmetic order are
+/// unchanged); `TrainVerticalFlr` keeps the two-party signature as a thin
+/// wrapper.
 
 namespace amalur {
 namespace federated {
@@ -46,7 +53,43 @@ struct VflOptions {
   uint64_t seed = 99;
 };
 
-/// A trained federated model plus communication accounting.
+/// One silo of the n-ary vertical protocol: its aligned local feature block
+/// plus bookkeeping for reassembling the global model.
+struct VflParty {
+  /// Wire name on the bus (defaults to "P<k>" when empty; the two-party
+  /// wrapper uses the historical "A"/"B").
+  std::string name;
+  /// n × p_k local feature block (rows aligned across all parties).
+  la::DenseMatrix x;
+  /// Target column index of each local feature (used by the executor to
+  /// scatter θ_k back into target-feature order; may be empty for callers
+  /// that train on raw blocks).
+  std::vector<size_t> columns;
+};
+
+/// A trained n-ary federated model plus communication accounting.
+struct NaryVflResult {
+  /// θ_k per party (p_k × 1), in party order.
+  std::vector<la::DenseMatrix> thetas;
+  std::vector<double> loss_history;
+  size_t rounds = 0;
+  size_t bytes_transferred = 0;
+  size_t messages = 0;
+};
+
+/// Trains n-ary vertical FLR. `parties[0]` is the label party (it also
+/// coordinates rounds); `labels` (n × 1) live with it. Every party's block
+/// must be row-aligned. Party-local forward/gradient work fans out over the
+/// shared pool (`ParallelForChunks`, fixed-order merge) in the plaintext
+/// mode; the Paillier mode is serial because the protocol threads one RNG
+/// through the encryption schedule.
+Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
+                                           const la::DenseMatrix& labels,
+                                           const VflOptions& options,
+                                           MessageBus* bus);
+
+/// A trained two-party federated model plus communication accounting
+/// (legacy shape of `NaryVflResult`).
 struct VflResult {
   la::DenseMatrix theta_a;  // pA × 1 (party A's local weights)
   la::DenseMatrix theta_b;  // pB × 1 (party B's local weights)
@@ -55,16 +98,33 @@ struct VflResult {
   size_t messages = 0;
 };
 
-/// Trains vertical FLR. `xa` (n × pA) and `labels` (n × 1) live at party A;
-/// `xb` (n × pB) lives at party B; rows are pre-aligned (see `AlignForVfl`).
+/// Two-party convenience wrapper over `TrainVerticalFlrNary` (parties "A"
+/// and "B"); bitwise-identical to the historical pairwise trainer.
 Result<VflResult> TrainVerticalFlr(const la::DenseMatrix& xa,
                                    const la::DenseMatrix& labels,
                                    const la::DenseMatrix& xb,
                                    const VflOptions& options, MessageBus* bus);
 
-/// Row-aligned VFL inputs derived from DI metadata (§V.A: X_A = I₁D₁M₁ᵀ,
-/// X_B = I₂D₂M₂ᵀ restricted to feature columns, redundancy-masked so
-/// overlapping columns are provided by exactly one party).
+/// Row-aligned n-ary VFL inputs derived from DI metadata (§V.A: silo k's
+/// block is I_k D_k M_kᵀ restricted to its feature columns — for snowflake
+/// silos I_k is the *composed* indicator `DeriveGraph` assigned along the
+/// dimension chain — redundancy-masked so every target column is provided
+/// by exactly one silo).
+struct NaryVflAlignment {
+  /// One party per silo, in source order; party 0 (the fact root) holds the
+  /// labels.
+  std::vector<VflParty> parties;
+  la::DenseMatrix labels;
+};
+
+/// Builds the n-ary alignment. `label_column` is the target column holding
+/// Y (owned by the fact root). Requires every target row to be contributed
+/// by every silo (the shared-sample-space / inner-join setting of Example 2
+/// generalized: fully-covering stars and snowflakes qualify).
+Result<NaryVflAlignment> AlignForVflNary(const metadata::DiMetadata& metadata,
+                                         size_t label_column);
+
+/// Legacy two-party alignment (pairwise scenarios only).
 struct VflAlignment {
   la::DenseMatrix xa;
   la::DenseMatrix xb;
@@ -74,9 +134,8 @@ struct VflAlignment {
   std::vector<size_t> b_columns;
 };
 
-/// Builds the alignment. `label_column` is the target column holding Y
-/// (owned by the base source). Requires every target row to be contributed
-/// by both parties (the inner-join / VFL setting, Example 2 of Table I).
+/// Two-party wrapper over `AlignForVflNary`; rejects scenarios with more
+/// than two sources.
 Result<VflAlignment> AlignForVfl(const metadata::DiMetadata& metadata,
                                  size_t label_column);
 

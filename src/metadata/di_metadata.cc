@@ -154,8 +154,19 @@ Result<DiMetadata> DiMetadata::Derive(const integration::SchemaMapping& mapping,
   }
   metadata.target_rows_ = ci_base.size();
   metadata.shape_ = IntegrationShape::kPairwise;
-  metadata.num_shards_ = mapping.kind() == rel::JoinKind::kUnion ? 2 : 1;
-  metadata.join_depth_ = mapping.kind() == rel::JoinKind::kUnion ? 0 : 1;
+  if (mapping.kind() == rel::JoinKind::kUnion) {
+    // A pairwise union is the 2-shard degenerate case: each source is its
+    // own fact shard, blocks stacked base-first.
+    metadata.num_shards_ = 2;
+    metadata.join_depth_ = 0;
+    metadata.source_shard_ = {0, 1};
+    metadata.shard_offsets_ = {0, base.NumRows(), metadata.target_rows_};
+  } else {
+    metadata.num_shards_ = 1;
+    metadata.join_depth_ = 1;
+    metadata.source_shard_ = {0, 0};
+    metadata.shard_offsets_ = {0, metadata.target_rows_};
+  }
 
   // ---- Per-source metadata.
   AMALUR_RETURN_NOT_OK(
@@ -193,6 +204,8 @@ Result<DiMetadata> DiMetadata::DeriveStar(
   metadata.shape_ = IntegrationShape::kStar;
   metadata.num_shards_ = 1;
   metadata.join_depth_ = 1;
+  metadata.source_shard_.assign(n_sources, 0);
+  metadata.shard_offsets_ = {0, base_rows};
 
   // CI vectors: base = identity; dimension k from its matching (functional).
   std::vector<std::vector<int64_t>> ci(n_sources);
@@ -322,6 +335,8 @@ Result<DiMetadata> DiMetadata::DeriveGraph(
     shard_offset[s + 1] = shard_offset[s] + tables[fact_of_shard[s]]->NumRows();
   }
   metadata.target_rows_ = shard_offset.back();
+  metadata.source_shard_ = shard_of;
+  metadata.shard_offsets_ = shard_offset;
 
   // ---- Shard-local CI per node (fact rows of its shard -> node rows).
   // Facts are identities; a join child *composes* its parent's local CI with

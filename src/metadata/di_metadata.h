@@ -137,6 +137,34 @@ class DiMetadata {
   /// and pairwise joins, >= 2 for snowflakes, 0 for pure unions).
   size_t join_depth() const { return join_depth_; }
 
+  /// Whether the scenario is horizontally partitioned (a pairwise union or
+  /// a union-of-stars). The single source of truth for the federated
+  /// protocol choice: horizontal scenarios split by fact shard (FedAvg),
+  /// vertical ones by silo (n-ary vertical FLR) — optimizer explanations
+  /// and executor dispatch must agree through this predicate.
+  bool IsHorizontallyPartitioned() const {
+    return shape_ == IntegrationShape::kUnionOfStars ||
+           kind_ == rel::JoinKind::kUnion;
+  }
+
+  /// Shard source k belongs to (a shard = one fact plus its dimension
+  /// subtree; always 0 for join-only scenarios). The horizontal federated
+  /// runtime groups silos into FedAvg participants with this.
+  size_t shard_of(size_t k) const {
+    AMALUR_CHECK_LT(k, source_shard_.size()) << "source index";
+    return source_shard_[k];
+  }
+  /// Target-row block of shard s: rows [ShardRowBegin(s), ShardRowEnd(s)).
+  /// Shard blocks are contiguous and stacked in shard order.
+  size_t ShardRowBegin(size_t s) const {
+    AMALUR_CHECK_LT(s + 1, shard_offsets_.size()) << "shard index";
+    return shard_offsets_[s];
+  }
+  size_t ShardRowEnd(size_t s) const {
+    AMALUR_CHECK_LT(s + 1, shard_offsets_.size()) << "shard index";
+    return shard_offsets_[s + 1];
+  }
+
   /// T_k = I_k D_k M_kᵀ — the source's (unmasked) contribution (Figure 4c).
   la::DenseMatrix SourceContribution(size_t k) const;
 
@@ -160,6 +188,10 @@ class DiMetadata {
   IntegrationShape shape_ = IntegrationShape::kPairwise;
   size_t num_shards_ = 1;
   size_t join_depth_ = 1;
+  /// Per-source shard id (parallel to `sources_`).
+  std::vector<size_t> source_shard_;
+  /// Shard target-row block boundaries (size num_shards_ + 1).
+  std::vector<size_t> shard_offsets_;
 };
 
 }  // namespace metadata

@@ -45,6 +45,41 @@ TEST(MessageBusTest, BytePayloadsAndReset) {
   EXPECT_TRUE(bus.ReceiveBytes("A", "B").status().IsNotFound());
 }
 
+TEST(MessageBusTest, CiphertextPayloadsMeteredAtSerializedSize) {
+  // Regression for the §V.B accounting invariant: Paillier payloads are
+  // counted at their serialized ciphertext size (16 bytes each — the
+  // (lo, hi) word pair that actually travels), NOT at the 8-byte
+  // plaintext-double rate. Metering ciphertexts as if they were doubles
+  // would make encrypted and plaintext wires look equally heavy and hide
+  // the encryption blow-up from bytes_transferred.
+  Paillier paillier(Paillier::GenerateKeys(7, 24), 12);
+  Rng rng(3);
+  la::DenseMatrix values({{1.5}, {-2.0}, {0.25}, {7.0}});
+  std::vector<PaillierCiphertext> ciphertexts =
+      paillier.EncryptMatrix(values, &rng);
+
+  MessageBus secure_bus;
+  secure_bus.SendCiphertextWords("A", "B", PackCiphertexts(ciphertexts));
+  MessageBus plain_bus;
+  plain_bus.Send("A", "B", values);
+
+  const size_t envelope = 32;
+  const TransferStats secure = secure_bus.ChannelStats("A", "B");
+  const TransferStats plain = plain_bus.ChannelStats("A", "B");
+  EXPECT_EQ(secure.bytes,
+            values.size() * MessageBus::kCiphertextWireBytes + envelope);
+  // Exactly the 2x-per-value blow-up of the 16-byte ciphertext vs the
+  // 8-byte double, visible on the wire.
+  EXPECT_EQ(secure.bytes - envelope, 2 * (plain.bytes - envelope));
+
+  // The payload still round-trips through the ordinary byte queue.
+  auto words = secure_bus.ReceiveBytes("A", "B");
+  ASSERT_TRUE(words.ok());
+  la::DenseMatrix decrypted =
+      paillier.DecryptMatrix(UnpackCiphertexts(*words), 4, 1);
+  EXPECT_LT(decrypted.MaxAbsDiff(values), 1e-3);
+}
+
 TEST(SecretSharingTest, RoundTripExactForFixedPointValues) {
   AdditiveSecretSharing sharing;
   Rng rng(1);

@@ -580,5 +580,200 @@ TEST(SystemTest, UnionOfStarsEdgeListEndToEnd) {
   EXPECT_TRUE(system.catalog()->GetRowMatching("fact1", "dim1").ok());
 }
 
+TEST(SystemTest, PrivacyConstrainedStarTrainsNarySilos) {
+  // Acceptance scenario: a 3-silo star whose sources may not move. The
+  // optimizer federates, the executor runs the n-ary vertical protocol with
+  // one party per silo, and the weights equal centralized training on the
+  // materialized join — computed by a second, unconstrained system over the
+  // same tables.
+  star::StarFixture fixture = star::MakeStar(300, 1001);
+
+  core::Amalur constrained;
+  AMALUR_CHECK_OK(constrained.catalog()->RegisterSource(
+      {"visits", fixture.fact, "clinic-dept", /*privacy_sensitive=*/true}));
+  AMALUR_CHECK_OK(constrained.catalog()->RegisterSource(
+      {"patients", fixture.patients, "registry", /*privacy_sensitive=*/true}));
+  AMALUR_CHECK_OK(constrained.catalog()->RegisterSource(
+      {"clinics", fixture.clinics, "geo", /*privacy_sensitive=*/true}));
+  core::IntegrationSpec spec;
+  spec.sources = {"visits", "patients", "clinics"};
+  spec.relationships = {rel::JoinKind::kLeftJoin};
+  auto integration = constrained.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  EXPECT_TRUE(integration->privacy_constrained);
+
+  const core::Plan plan = constrained.Explain(*integration);
+  EXPECT_EQ(plan.strategy, core::ExecutionStrategy::kFederate);
+  EXPECT_NE(plan.explanation.find("vertical n-ary FLR over 3 silos"),
+            std::string::npos)
+      << plan.explanation;
+
+  core::TrainRequest request;
+  request.label_column = "charge";
+  request.gd.iterations = 40;
+  request.gd.learning_rate = 0.05;
+  auto model = constrained.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->outcome().strategy_used, core::ExecutionStrategy::kFederate);
+  EXPECT_EQ(model->outcome().federated_silos, 3u);
+  EXPECT_EQ(model->outcome().federated_rounds, 40u);
+  EXPECT_GT(model->outcome().bytes_transferred, 0u);
+  EXPECT_NE(model->plan().explanation.find("federated: 3 silos, 40 rounds"),
+            std::string::npos)
+      << model->plan().explanation;
+
+  // Forcing a data-moving strategy over the constrained integration is
+  // still refused.
+  for (core::ExecutionStrategy strategy :
+       {core::ExecutionStrategy::kFactorize,
+        core::ExecutionStrategy::kMaterialize}) {
+    request.force_strategy = strategy;
+    EXPECT_TRUE(constrained.Train(*integration, request)
+                    .status()
+                    .IsFailedPrecondition());
+  }
+  request.force_strategy.reset();
+
+  // Equivalence: an unconstrained system over the same silos, trained
+  // centralized (materialized), produces the same model.
+  core::Amalur open = star::MakeSystemWithStar(fixture);
+  auto open_integration = open.Integrate(spec);
+  ASSERT_TRUE(open_integration.ok()) << open_integration.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto central = open.Train(*open_integration, request);
+  ASSERT_TRUE(central.ok()) << central.status();
+  EXPECT_LT(model->weights().MaxAbsDiff(central->weights()), 1e-8);
+
+  // The federated model serves in-sample predictions without the caller
+  // materializing anything.
+  auto scores = model->Predict();
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  EXPECT_EQ(scores->rows(), integration->metadata.target_rows());
+}
+
+TEST(SystemTest, PrivacyConstrainedSnowflakeFederatesComposedSilos) {
+  // A privacy-constrained snowflake: the leaf dimension only reaches the
+  // fact through the chain, so its federated party block is built from the
+  // composed indicator the graph derivation assigned — and n-ary VFL still
+  // equals centralized training.
+  rel::SnowflakeSpec snow_spec;
+  snow_spec.fact_rows = 300;
+  snow_spec.fact_features = 2;
+  snow_spec.level_rows = {30, 6};
+  snow_spec.level_features = {3, 2};
+  snow_spec.seed = 23;
+  rel::Snowflake snowflake = rel::GenerateSnowflake(snow_spec);
+
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  core::Amalur constrained(options);
+  core::Amalur open(options);
+  for (const rel::Table& table : snowflake.tables) {
+    ASSERT_TRUE(constrained.catalog()
+                    ->RegisterSource({table.name(), table, "silo", true})
+                    .ok());
+    ASSERT_TRUE(
+        open.catalog()->RegisterSource({table.name(), table, "", false}).ok());
+  }
+  core::IntegrationSpec spec;
+  spec.edges = {{"fact", "dim0", rel::JoinKind::kLeftJoin},
+                {"dim0", "dim1", rel::JoinKind::kLeftJoin}};
+  auto integration = constrained.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  EXPECT_EQ(integration->shape, metadata::IntegrationShape::kSnowflake);
+  EXPECT_TRUE(integration->privacy_constrained);
+  EXPECT_NE(constrained.Explain(*integration)
+                .explanation.find("vertical n-ary FLR over 3 silos"),
+            std::string::npos);
+
+  core::TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 40;
+  request.gd.learning_rate = 0.05;
+  auto model = constrained.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->outcome().strategy_used, core::ExecutionStrategy::kFederate);
+  EXPECT_EQ(model->outcome().federated_silos, 3u);
+  EXPECT_LT(model->outcome().loss_history.back(),
+            model->outcome().loss_history.front());
+
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  EXPECT_TRUE(
+      constrained.Train(*integration, request).status().IsFailedPrecondition());
+
+  auto open_integration = open.Integrate(spec);
+  ASSERT_TRUE(open_integration.ok()) << open_integration.status();
+  auto central = open.Train(*open_integration, request);
+  ASSERT_TRUE(central.ok()) << central.status();
+  EXPECT_LT(model->weights().MaxAbsDiff(central->weights()), 1e-8);
+}
+
+TEST(SystemTest, PrivacyConstrainedUnionOfStarsRunsPerShardFedAvg) {
+  // Union-of-stars silos are horizontally partitioned, so the federated
+  // strategy routes to FedAvg with one participant per fact shard. With one
+  // local epoch per round the weighted average IS the centralized gradient
+  // step, so the global model equals centralized training over the stacked
+  // target.
+  rel::UnionOfStarsSpec union_spec;
+  union_spec.shards = 2;
+  union_spec.fact_rows = 200;
+  union_spec.fact_features = 2;
+  union_spec.dim_rows = 20;
+  union_spec.dim_features = 3;
+  union_spec.seed = 29;
+  rel::UnionOfStars scenario = rel::GenerateUnionOfStars(union_spec);
+
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  core::Amalur constrained(options);
+  core::Amalur open(options);
+  for (const rel::Table& table : scenario.tables) {
+    ASSERT_TRUE(constrained.catalog()
+                    ->RegisterSource({table.name(), table, "silo", true})
+                    .ok());
+    ASSERT_TRUE(
+        open.catalog()->RegisterSource({table.name(), table, "", false}).ok());
+  }
+  core::IntegrationSpec spec;
+  spec.edges = {{"fact0", "dim0", rel::JoinKind::kLeftJoin},
+                {"fact0", "fact1", rel::JoinKind::kUnion},
+                {"fact1", "dim1", rel::JoinKind::kLeftJoin}};
+  auto integration = constrained.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  EXPECT_EQ(integration->shape, metadata::IntegrationShape::kUnionOfStars);
+  EXPECT_TRUE(integration->privacy_constrained);
+  EXPECT_NE(constrained.Explain(*integration)
+                .explanation.find("horizontal FedAvg over 2 fact shards"),
+            std::string::npos);
+
+  core::TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 50;
+  request.gd.learning_rate = 0.05;
+  request.gd.l2 = 0.01;  // regularization reaches the shards' local steps
+  auto model = constrained.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->outcome().strategy_used, core::ExecutionStrategy::kFederate);
+  EXPECT_EQ(model->outcome().federated_silos, 2u);  // one per shard
+  EXPECT_EQ(model->outcome().federated_rounds, 50u);
+  EXPECT_GT(model->outcome().bytes_transferred, 0u);
+
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  EXPECT_TRUE(
+      constrained.Train(*integration, request).status().IsFailedPrecondition());
+
+  auto open_integration = open.Integrate(spec);
+  ASSERT_TRUE(open_integration.ok()) << open_integration.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto central = open.Train(*open_integration, request);
+  ASSERT_TRUE(central.ok()) << central.status();
+  EXPECT_LT(model->weights().MaxAbsDiff(central->weights()), 1e-8);
+
+  // The federated model serves the stacked target in-sample.
+  auto scores = model->Predict();
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  EXPECT_EQ(scores->rows(), 2 * union_spec.fact_rows);
+}
+
 }  // namespace
 }  // namespace amalur
