@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "federated/hfl.h"
@@ -146,13 +147,15 @@ void PrintRow(const Measurement& m) {
 }  // namespace
 
 int main() {
-  std::printf("=== §V: federated rounds vs silo count ===\n\n");
+  const bool smoke = bench::SmokeMode();
+  std::printf("=== §V: federated rounds vs silo count ===%s\n\n",
+              smoke ? " (SMOKE MODE — sizes scaled down)" : "");
   std::printf("%5s %10s %6s %7s %12s %9s %9s %10s\n", "proto", "wires",
               "silos", "rounds", "bytes", "msgs", "time(s)", "loss");
 
   std::vector<Measurement> measurements;
-  const size_t kVflRounds = 25;
-  const size_t kVflRows = 400;
+  const size_t kVflRounds = smoke ? 5 : 25;
+  const size_t kVflRows = smoke ? 60 : 400;
   for (size_t silos : {2, 3, 5, 8}) {
     measurements.push_back(RunVfl(silos, federated::VflPrivacy::kPlaintext,
                                   kVflRounds, kVflRows));
@@ -160,14 +163,15 @@ int main() {
   }
   // Paillier at smaller sizes: homomorphic transposes dominate wall time.
   for (size_t silos : {2, 3, 5}) {
-    measurements.push_back(
-        RunVfl(silos, federated::VflPrivacy::kPaillier, 5, 60));
+    measurements.push_back(RunVfl(silos, federated::VflPrivacy::kPaillier,
+                                  smoke ? 2 : 5, smoke ? 20 : 60));
     PrintRow(measurements.back());
   }
-  const size_t kHflRounds = 30;
+  const size_t kHflRounds = smoke ? 6 : 30;
+  const size_t kHflRows = smoke ? 50 : 300;
   for (size_t shards : {2, 4, 8}) {
     for (bool secure : {false, true}) {
-      measurements.push_back(RunHfl(shards, secure, kHflRounds, 300));
+      measurements.push_back(RunHfl(shards, secure, kHflRounds, kHflRows));
       PrintRow(measurements.back());
     }
   }

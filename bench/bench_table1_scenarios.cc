@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/amalur.h"
 #include "cost/amalur_cost_model.h"
 #include "cost/cost_features.h"
@@ -25,6 +26,10 @@
 namespace {
 
 using namespace amalur;
+
+/// Smoke mode divides every scenario's row counts by this factor (and drops
+/// repeats/iterations) so CI can run the full scenario table in seconds.
+size_t RowScale() { return bench::SmokeMode() ? 40 : 1; }
 
 /// A fully prepared scenario: its own facade instance with the sources
 /// registered and the integration derived.
@@ -54,9 +59,15 @@ void FinishScenario(std::vector<PreparedScenario>* out,
 
 std::vector<PreparedScenario> MakeScenarios() {
   std::vector<PreparedScenario> out;
+  // Smoke-scaled sizes: every scenario row survives, just smaller.
+  const auto scaled = [](size_t rows) {
+    return std::max<size_t>(2, rows / RowScale());
+  };
 
-  const auto pair_scenario = [&out](const char* name, const char* slug,
-                                    const rel::SiloPairSpec& spec) {
+  const auto pair_scenario = [&out, &scaled](const char* name, const char* slug,
+                                             rel::SiloPairSpec spec) {
+    spec.base_rows = scaled(spec.base_rows);
+    spec.other_rows = scaled(spec.other_rows);
     core::Amalur* system = NewSystem(&out, name, slug);
     rel::SiloPair pair = rel::GenerateSiloPair(spec);
     AMALUR_CHECK_OK(
@@ -128,9 +139,9 @@ std::vector<PreparedScenario> MakeScenarios() {
   // compounds along the composed fan-out (edge-list spec form).
   {
     rel::SnowflakeSpec spec;
-    spec.fact_rows = 40000;
+    spec.fact_rows = scaled(40000);
     spec.fact_features = 2;
-    spec.level_rows = {2000, 50};
+    spec.level_rows = {scaled(2000), scaled(50)};
     spec.level_features = {30, 20};
     spec.seed = 15;
     rel::Snowflake snowflake = rel::GenerateSnowflake(spec);
@@ -149,9 +160,9 @@ std::vector<PreparedScenario> MakeScenarios() {
   {
     rel::UnionOfStarsSpec spec;
     spec.shards = 2;
-    spec.fact_rows = 20000;
+    spec.fact_rows = scaled(20000);
     spec.fact_features = 2;
-    spec.dim_rows = 1000;
+    spec.dim_rows = scaled(1000);
     spec.dim_features = 30;
     spec.seed = 16;
     rel::UnionOfStars scenario = rel::GenerateUnionOfStars(spec);
@@ -165,6 +176,34 @@ std::vector<PreparedScenario> MakeScenarios() {
     integration_spec.edges = {{"fact0", "dim0", rel::JoinKind::kLeftJoin},
                               {"fact0", "fact1", rel::JoinKind::kUnion},
                               {"fact1", "dim1", rel::JoinKind::kLeftJoin}};
+    FinishScenario(&out, integration_spec);
+  }
+  // Example 7: conformed snowflake — one shared dimension referenced
+  // through two intermediate dimensions (a DAG, not a tree); the shared
+  // silo's columns integrate once and its fan-out compounds through both
+  // parent chains.
+  {
+    rel::ConformedSnowflakeSpec spec;
+    spec.fact_rows = scaled(40000);
+    spec.fact_features = 2;
+    spec.branches = 2;
+    spec.branch_rows = scaled(1000);
+    spec.branch_features = 20;
+    spec.shared_rows = scaled(50);
+    spec.shared_features = 20;
+    spec.seed = 17;
+    rel::ConformedSnowflake scenario = rel::GenerateConformedSnowflake(spec);
+    core::Amalur* system =
+        NewSystem(&out, "7 conformed snflk", "conformed_snowflake");
+    for (const rel::Table& table : scenario.tables) {
+      AMALUR_CHECK_OK(
+          system->catalog()->RegisterSource({table.name(), table, "", false}));
+    }
+    core::IntegrationSpec integration_spec;
+    integration_spec.edges = {{"fact", "branch0", rel::JoinKind::kLeftJoin},
+                              {"fact", "branch1", rel::JoinKind::kLeftJoin},
+                              {"branch0", "shared", rel::JoinKind::kLeftJoin},
+                              {"branch1", "shared", rel::JoinKind::kLeftJoin}};
     FinishScenario(&out, integration_spec);
   }
   return out;
@@ -228,15 +267,18 @@ void WriteJson(const std::vector<Measurement>& measurements,
 }  // namespace
 
 int main() {
-  const size_t kIterations = 20;
+  const bool smoke = bench::SmokeMode();
+  const size_t kIterations = smoke ? 5 : 20;
+  const size_t kRepeats = smoke ? 1 : 3;
   cost::AmalurCostModelOptions options;
   options.training_iterations = static_cast<double>(kIterations);
   cost::AmalurCostModel model(options);
 
   std::printf("=== Table I scenarios: factorized vs materialized training ===\n");
-  std::printf("(GD linear regression, %zu iterations; medians of 3 runs;\n"
-              " each scenario integrated through Amalur::Integrate(spec))\n\n",
-              kIterations);
+  std::printf("(GD linear regression, %zu iterations; medians of %zu run%s;\n"
+              " each scenario integrated through Amalur::Integrate(spec)%s)\n\n",
+              kIterations, kRepeats, kRepeats == 1 ? "" : "s",
+              smoke ? "; SMOKE MODE — sizes scaled down" : "");
   std::printf("%-18s %10s %10s %8s %9s %9s %10s %15s\n", "scenario",
               "fact (s)", "mat (s)", "speedup", "measured", "amalur",
               "T shape", "graph");
@@ -248,12 +290,12 @@ int main() {
     request.gd.iterations = kIterations;
     request.gd.learning_rate = 0.05;
 
-    const double fact_seconds =
-        MedianTrainSeconds(scenario.system.get(), scenario.integration,
-                           request, core::ExecutionStrategy::kFactorize, 3);
-    const double mat_seconds =
-        MedianTrainSeconds(scenario.system.get(), scenario.integration,
-                           request, core::ExecutionStrategy::kMaterialize, 3);
+    const double fact_seconds = MedianTrainSeconds(
+        scenario.system.get(), scenario.integration, request,
+        core::ExecutionStrategy::kFactorize, kRepeats);
+    const double mat_seconds = MedianTrainSeconds(
+        scenario.system.get(), scenario.integration, request,
+        core::ExecutionStrategy::kMaterialize, kRepeats);
 
     const metadata::DiMetadata& md = scenario.integration.metadata;
     const cost::CostFeatures features = cost::CostFeatures::FromMetadata(md);

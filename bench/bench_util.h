@@ -2,6 +2,8 @@
 #define AMALUR_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -21,6 +23,22 @@
 
 namespace amalur {
 namespace bench {
+
+/// Smoke mode (`AMALUR_BENCH_SMOKE=1`): CI runs every bench binary on each
+/// push to keep the emitted BENCH_*.json trajectories populated, but it
+/// needs seconds, not minutes — benches shrink their data sizes and repeat
+/// counts under this flag while keeping every scenario row present, so the
+/// JSON schema (and the decision columns) stays identical to a full run.
+inline bool SmokeMode() {
+  const char* env = std::getenv("AMALUR_BENCH_SMOKE");
+  if (env == nullptr) return false;
+  // Common "off" spellings stay off — a shrunken run silently written to
+  // the tracked BENCH_*.json would corrupt the perf trajectory.
+  for (const char* off : {"", "0", "false", "no", "off"}) {
+    if (std::strcmp(env, off) == 0) return false;
+  }
+  return true;
+}
 
 /// End-to-end seconds of both strategies for one scenario.
 struct StrategyTiming {

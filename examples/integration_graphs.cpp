@@ -1,13 +1,15 @@
-// Integration graphs: the edge-list `IntegrationSpec` on the two scenarios
-// the flat source list cannot express. A *snowflake* chains dimensions of
+// Integration graphs: the edge-list `IntegrationSpec` on the scenarios the
+// flat source list cannot express. A *snowflake* chains dimensions of
 // dimensions (sales -> stores -> regions), so a fact row reaches the leaf
 // dimension through two composed key hops; a *union-of-stars* stacks
 // horizontally partitioned fact shards — each a star with its own private
 // dimension — into one target (paper Table I's union relationship between
-// silos that are themselves stars). Both run entirely through the facade:
-// describe the graph as edges, and Amalur validates it, discovers the keys
-// per edge, derives the composed/stacked metadata and trains either
-// factorized or materialized with identical results.
+// silos that are themselves stars); a *conformed snowflake* is a DAG: one
+// shared dimension (think a warehouse `date` or `region` table) referenced
+// through several parents, integrated once. All run entirely through the
+// facade: describe the graph as edges, and Amalur validates it, discovers
+// the keys per edge, derives the composed/stacked/merged metadata and
+// trains either factorized or materialized with identical results.
 
 #include <cstdio>
 
@@ -113,6 +115,48 @@ int main() {
                 integration->metadata.num_shards(),
                 system.Explain(*integration).explanation.c_str());
     TrainBothWays(&system, *integration, "  union-of-stars");
+  }
+
+  // ---- Conformed dimension: orders(30k) references both a customer-facing
+  // and a supplier-facing dimension (1k rows each), and BOTH reference one
+  // shared 40-row region table — a DAG with a conformed dimension. The
+  // shared silo's columns land in the target exactly once, and the second
+  // fact->branch edge is an inner join, so orders without a resolvable
+  // branch1 reference drop from the target (here: none, full coverage).
+  {
+    rel::ConformedSnowflakeSpec spec;
+    spec.fact_rows = 30000;
+    spec.fact_features = 2;
+    spec.branches = 2;
+    spec.branch_rows = 1000;
+    spec.branch_features = 6;
+    spec.shared_rows = 40;
+    spec.shared_features = 5;
+    spec.seed = 2028;
+    rel::ConformedSnowflake scenario = rel::GenerateConformedSnowflake(spec);
+
+    core::Amalur system(options);
+    for (const rel::Table& table : scenario.tables) {
+      AMALUR_CHECK_OK(
+          system.catalog()->RegisterSource({table.name(), table, "", false}));
+    }
+
+    core::IntegrationSpec spec_graph;
+    spec_graph.name = "orders-conformed";
+    spec_graph.edges = {{"fact", "branch0", rel::JoinKind::kLeftJoin},
+                        {"fact", "branch1", rel::JoinKind::kInnerJoin},
+                        {"branch0", "shared", rel::JoinKind::kLeftJoin},
+                        {"branch1", "shared", rel::JoinKind::kLeftJoin}};
+    auto integration = system.Integrate(spec_graph);
+    AMALUR_CHECK(integration.ok()) << integration.status();
+    std::printf(
+        "\nConformed snowflake target %zu x %zu (%zu shared dimension(s))\n"
+        "  %s\n",
+        integration->metadata.target_rows(),
+        integration->metadata.target_cols(),
+        integration->metadata.num_shared_dimensions(),
+        system.Explain(*integration).explanation.c_str());
+    TrainBothWays(&system, *integration, "  conformed");
   }
   return 0;
 }

@@ -158,9 +158,18 @@ Result<IntegrationHandle> Amalur::Integrate(const IntegrationSpec& spec) {
       case metadata::IntegrationShape::kPairwise:
         return IntegratePair(normalized.spec);
       case metadata::IntegrationShape::kStar:
-        // The unchanged fast path: depth-1 left joins off one base.
+        // The unchanged fast path: depth-1 left joins off one base. An
+        // inner edge keeps the star *shape* but needs the graph derivation
+        // — the star path never reads edge kinds and would silently drop
+        // the inner join's row restriction.
+        for (const IntegrationEdge& edge : normalized.plan.edges) {
+          if (edge.kind == rel::JoinKind::kInnerJoin) {
+            return IntegrateGraph(normalized.spec, normalized.plan);
+          }
+        }
         return IntegrateStar(normalized.spec);
       case metadata::IntegrationShape::kSnowflake:
+      case metadata::IntegrationShape::kConformedSnowflake:
       case metadata::IntegrationShape::kUnionOfStars:
         return IntegrateGraph(normalized.spec, normalized.plan);
     }
@@ -479,10 +488,12 @@ Result<IntegrationHandle> Amalur::IntegrateGraph(
     handle.privacy_constrained |= entry->privacy_sensitive;
   }
 
-  // ---- 1. Per-edge schema matching and key discovery, walking the tree in
-  // topological order. Join edges need a key (or ER evidence) between
-  // parent and child; union edges need overlapping columns to merge. A
-  // node's key columns — from *any* incident edge — never become features.
+  // ---- 1. Per-edge schema matching and key discovery, walking the graph
+  // in topological order. Join edges (left or inner) need a key (or ER
+  // evidence) between parent and child; union edges need overlapping
+  // columns to merge. A conformed dimension is matched against every
+  // parent. A node's key columns — from *any* incident edge — never become
+  // features.
   struct EdgePlan {
     std::vector<std::string> parent_keys;  // numeric surrogate keys
     std::vector<std::string> child_keys;
@@ -527,7 +538,7 @@ Result<IntegrationHandle> Amalur::IntegrateGraph(
         key_columns[edge.child].insert(right.name());
         edge_plans[e].source_matches.push_back(
             {edge.parent, left.name(), edge.child, right.name()});
-        if (edge.kind == rel::JoinKind::kLeftJoin) {
+        if (edge.kind != rel::JoinKind::kUnion) {
           edge_plans[e].parent_keys.push_back(left.name());
           edge_plans[e].child_keys.push_back(right.name());
         }
@@ -542,11 +553,14 @@ Result<IntegrationHandle> Amalur::IntegrateGraph(
   // non-key numeric columns either merge into the target column of the
   // parent column they matched (overlapping features across a join edge;
   // shared shard columns across a union edge) or claim a fresh target
-  // column. A column matched to a parent *key* (which has no target column)
+  // column. A conformed dimension is visited once — its columns land in the
+  // target exactly once however many parents reference it; merge evidence
+  // is taken from any of its parent edges, first match in declaration
+  // order. A column matched to a parent *key* (which has no target column)
   // stays a feature of its own rather than silently dropping.
-  std::vector<int64_t> parent_edge_of(n_sources, -1);
+  std::vector<std::vector<size_t>> parent_edges_of(n_sources);
   for (size_t e = 0; e < n_edges; ++e) {
-    parent_edge_of[plan.metadata_edges[e].child] = static_cast<int64_t>(e);
+    parent_edges_of[plan.metadata_edges[e].child].push_back(e);
   }
   NameClaimer names;
   std::vector<rel::Field> target_fields;
@@ -555,26 +569,27 @@ Result<IntegrationHandle> Amalur::IntegrateGraph(
   for (size_t k = 0; k < n_sources; ++k) {
     const rel::Table& table = entries[k]->table;
     target_name_of[k].assign(table.NumColumns(), "");
-    const int64_t pe = parent_edge_of[k];
     for (size_t j = 0; j < table.NumColumns(); ++j) {
       const rel::Column& column = table.column(j);
       if (!IsNumeric(column) || key_columns[k].count(column.name()) > 0) {
         continue;
       }
-      if (pe >= 0) {
-        const EdgePlan& eplan = edge_plans[static_cast<size_t>(pe)];
+      bool merged_into_parent = false;
+      for (size_t pe : parent_edges_of[k]) {
+        const EdgePlan& eplan = edge_plans[pe];
         auto merged = eplan.merged.find(j);
-        if (merged != eplan.merged.end()) {
-          const size_t parent = plan.metadata_edges[static_cast<size_t>(pe)].parent;
-          const std::string& parent_target =
-              target_name_of[parent][merged->second];
-          if (!parent_target.empty()) {
-            corr[k].push_back({column.name(), parent_target});
-            target_name_of[k][j] = parent_target;
-            continue;
-          }
+        if (merged == eplan.merged.end()) continue;
+        const size_t parent = plan.metadata_edges[pe].parent;
+        const std::string& parent_target =
+            target_name_of[parent][merged->second];
+        if (!parent_target.empty()) {
+          corr[k].push_back({column.name(), parent_target});
+          target_name_of[k][j] = parent_target;
+          merged_into_parent = true;
+          break;
         }
       }
+      if (merged_into_parent) continue;
       const std::string target_name = names.Claim(column.name());
       target_fields.push_back({target_name, column.type(), true});
       corr[k].push_back({column.name(), target_name});
@@ -611,7 +626,7 @@ Result<IntegrationHandle> Amalur::IntegrateGraph(
   for (size_t e = 0; e < n_edges; ++e) {
     const metadata::MetadataEdge& edge = plan.metadata_edges[e];
     rel::RowMatching matching;
-    if (edge.kind == rel::JoinKind::kLeftJoin) {
+    if (edge.kind != rel::JoinKind::kUnion) {
       const rel::Table& parent = entries[edge.parent]->table;
       const rel::Table& child = entries[edge.child]->table;
       if (!edge_plans[e].parent_keys.empty()) {
@@ -726,11 +741,37 @@ Result<ModelHandle> Amalur::Train(const IntegrationHandle& integration,
   return model;
 }
 
+namespace {
+
+/// Resolves a training-schema column in holdout data *by name* — serving
+/// must never trust positional order (a shuffled holdout table would
+/// silently score features against the wrong weights). Missing or
+/// non-numeric columns are the caller's data problem: `kInvalidArgument`.
+Result<size_t> ResolveServingColumn(const rel::Table& data,
+                                    const std::string& name,
+                                    const char* role) {
+  auto index = data.ColumnIndex(name);
+  if (!index.ok()) {
+    return Status::InvalidArgument(
+        "holdout data is missing ", role, " column '", name,
+        "' of the training schema; serving aligns columns by name");
+  }
+  if (data.column(*index).type() == rel::DataType::kString) {
+    return Status::InvalidArgument(
+        "holdout column '", name, "' is a string column but the training "
+        "schema expects a numeric ", role);
+  }
+  return *index;
+}
+
+}  // namespace
+
 Result<la::DenseMatrix> ModelHandle::Predict(const rel::Table& data) const {
   std::vector<size_t> indices;
   indices.reserve(feature_names_.size());
   for (const std::string& name : feature_names_) {
-    AMALUR_ASSIGN_OR_RETURN(size_t index, data.ColumnIndex(name));
+    AMALUR_ASSIGN_OR_RETURN(size_t index,
+                            ResolveServingColumn(data, name, "feature"));
     indices.push_back(index);
   }
   AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix features, data.ToMatrix(indices));
@@ -788,7 +829,8 @@ EvaluationReport ModelHandle::Score(const la::DenseMatrix& predictions,
 
 Result<EvaluationReport> ModelHandle::Evaluate(const rel::Table& data) const {
   AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix predictions, Predict(data));
-  AMALUR_ASSIGN_OR_RETURN(size_t label_index, data.ColumnIndex(label_column_));
+  AMALUR_ASSIGN_OR_RETURN(size_t label_index,
+                          ResolveServingColumn(data, label_column_, "label"));
   AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix labels,
                           data.ToMatrix({label_index}));
   return Score(predictions, labels);

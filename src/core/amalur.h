@@ -81,15 +81,19 @@ struct IntegrationSpec {
   std::string name;
 
   /// **Edge-list form.** When non-empty, the integration is this graph: a
-  /// tree of `kLeftJoin` edges (parent retained, child dimension — chains
-  /// allowed, which is how snowflake schemas are expressed) and `kUnion`
-  /// edges (sibling fact shards — union-of-stars). A single edge of any
-  /// relationship runs the pairwise pipeline. The graph must be connected
-  /// and acyclic with one fact root; violations return precise
-  /// `kInvalidArgument` messages. When `edges` is set, `relationships` is
-  /// ignored, `star_base` must be empty (the edge list already fixes the
-  /// root), and `sources` (if non-empty) merely declares the expected
-  /// participant set.
+  /// DAG of `kLeftJoin` / `kInnerJoin` edges (parent retained, child
+  /// dimension — chains allowed, which is how snowflake schemas are
+  /// expressed; an inner edge additionally drops target rows where the
+  /// child has no match) and `kUnion` edges (sibling fact shards —
+  /// union-of-stars). A dimension referenced by several join edges is a
+  /// *conformed dimension*: its columns appear once in the target and its
+  /// silo is integrated once. A single edge of any relationship runs the
+  /// pairwise pipeline. The graph must be connected and acyclic with one
+  /// fact root and at most one parent per fact shard; violations return
+  /// precise `kInvalidArgument` messages. When `edges` is set,
+  /// `relationships` is ignored, `star_base` must be empty (the edge list
+  /// already fixes the root), and `sources` (if non-empty) merely declares
+  /// the expected participant set.
   std::vector<IntegrationEdge> edges;
 
   /// **Flat form** (used when `edges` is empty). Ordered names of >= 2
@@ -155,8 +159,11 @@ class ModelHandle {
   const la::DenseMatrix& weights() const { return outcome_.weights; }
 
   /// Scores `data` with the trained weights: y-hat = F w for regression,
-  /// sigma(F w) for classification (rows x 1). Every feature column must be
-  /// present in `data` by name; the label column is not required.
+  /// sigma(F w) for classification (rows x 1). Columns are aligned to the
+  /// training schema *by name* — positional order never matters, so a
+  /// shuffled holdout table scores identically. Every feature column must
+  /// be present in `data` and numeric; a missing or string-typed column is
+  /// `kInvalidArgument`. The label column is not required.
   Result<la::DenseMatrix> Predict(const rel::Table& data) const;
 
   /// Scores the integration's own target rows (in-sample serving, rT x 1)
@@ -167,7 +174,8 @@ class ModelHandle {
   Result<la::DenseMatrix> Predict() const;
 
   /// Predicts over `data` and scores against its label column (which must
-  /// be present under `label_column()`).
+  /// be present under `label_column()` and numeric — same by-name alignment
+  /// and `kInvalidArgument` contract as `Predict`).
   Result<EvaluationReport> Evaluate(const rel::Table& data) const;
 
   /// In-sample evaluation against the target's label column, routed through
@@ -225,12 +233,19 @@ class Amalur {
   ///    against the base discovers the join keys and
   ///    `DiMetadata::DeriveStar` produces one indicator/mapping/redundancy
   ///    triple per silo — the unchanged fast path.
-  ///  * **Snowflake** (chained left joins): per-edge matching walks the
-  ///    dimension chains and `DiMetadata::DeriveGraph` composes the
-  ///    matchings so the factorized runtime sees one fan-out per silo.
+  ///  * **Snowflake** (chained left/inner joins): per-edge matching walks
+  ///    the dimension chains and `DiMetadata::DeriveGraph` composes the
+  ///    matchings so the factorized runtime sees one fan-out per silo;
+  ///    inner edges restrict the target row set through the composed
+  ///    indicator.
+  ///  * **Conformed snowflake** (a dimension with several join parents):
+  ///    the shared dimension is matched against every parent, appears once
+  ///    in the target schema, and merges its parent chains into one
+  ///    indicator.
   ///  * **Union-of-stars** (`kUnion` edges between fact shards): shard
   ///    columns matched across union edges merge into shared target
-  ///    columns, and the shards' row blocks stack into one target.
+  ///    columns, and the shards' row blocks stack into one target (a
+  ///    dimension may be shared between shards).
   ///
   /// Edge artifacts (column matches, row matchings) are cached in the
   /// catalog per source pair; when `spec.name` is non-empty the whole

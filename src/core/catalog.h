@@ -39,8 +39,10 @@ namespace core {
 /// relate. `left` is the retained/parent side (a fact table or an upstream
 /// dimension), `right` the child. Join kinds: `kLeftJoin` attaches a
 /// dimension (snowflake chains allowed — a dimension may itself be a
-/// `left`); `kUnion` stacks a sibling fact shard; `kInnerJoin` and
-/// `kFullOuterJoin` are valid only on single-edge (pairwise) specs.
+/// `left`, and several edges may share one `right`: a conformed dimension);
+/// `kInnerJoin` attaches a dimension AND restricts the target to rows where
+/// it matched; `kUnion` stacks a sibling fact shard; `kFullOuterJoin` is
+/// valid only on single-edge (pairwise) specs.
 struct IntegrationEdge {
   std::string left;
   std::string right;

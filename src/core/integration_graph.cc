@@ -30,8 +30,11 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
                                        declared_sources.end());
 
   // ---- Per-edge validation: endpoints, self-loops, duplicates, kinds.
+  // Dimensions may have several join parents (conformed dimensions), so the
+  // in-degree is tracked but only capped for facts below.
   std::set<std::pair<std::string, std::string>> seen_pairs;
   std::map<std::string, size_t> in_degree;
+  std::map<std::string, size_t> union_in_degree;
   std::set<std::string> nodes;
   for (size_t e = 0; e < edges.size(); ++e) {
     const IntegrationEdge& edge = edges[e];
@@ -47,6 +50,7 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
       }
       nodes.insert(*endpoint);
       in_degree.emplace(*endpoint, 0);
+      union_in_degree.emplace(*endpoint, 0);
     }
     if (edge.left == edge.right) {
       return Status::InvalidArgument("edge ", e, " joins source '", edge.left,
@@ -57,18 +61,24 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
       return Status::InvalidArgument("duplicate edge between '", edge.left,
                                      "' and '", edge.right, "'");
     }
-    if (edges.size() > 1 && edge.kind != rel::JoinKind::kLeftJoin &&
-        edge.kind != rel::JoinKind::kUnion) {
+    if (edges.size() > 1 && edge.kind == rel::JoinKind::kFullOuterJoin) {
       return Status::InvalidArgument(
           "edge ", e, " ('", edge.left, "' -> '", edge.right, "'): the ",
           rel::JoinKindToString(edge.kind),
           " relationship is only valid on single-edge (pairwise) specs; "
-          "graph edges are left joins or unions");
+          "graph edges are left/inner joins or unions");
     }
-    if (++in_degree[edge.right] > 1) {
+    ++in_degree[edge.right];
+    if (edge.kind == rel::JoinKind::kUnion) ++union_in_degree[edge.right];
+  }
+  // A union-edge child is a fact shard; a fact joins the graph through
+  // exactly one parent edge — only dimensions may be conformed.
+  for (const auto& [name, unions] : union_in_degree) {
+    if (unions > 0 && in_degree[name] > 1) {
       return Status::InvalidArgument(
-          "source '", edge.right,
-          "' has several parent edges; integration graphs must form a tree");
+          "source '", name,
+          "' is a fact shard (a union-edge child) with several parent "
+          "edges; only dimensions may be conformed");
     }
   }
   for (const std::string& name : declared_sources) {
@@ -95,8 +105,12 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
   }
 
   // ---- Depth-first traversal from the root, join children before union
-  // siblings. Unreached nodes have a parent edge but no path from the root:
-  // a cycle component.
+  // siblings. A node with several parents (a conformed dimension) is
+  // *deferred* until its last parent edge arrives, then visited once — its
+  // parent edges are emitted together in declaration order, so every
+  // emitted edge's endpoints are both already indexed and parents precede
+  // children (the layout `DeriveGraph` requires). Unreached nodes have a
+  // parent edge but no path from the root: a cycle component.
   std::map<std::string, Adjacency> adjacency;
   for (size_t e = 0; e < edges.size(); ++e) {
     Adjacency& adj = adjacency[edges[e].left];
@@ -108,9 +122,15 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
   IntegrationGraphPlan plan;
   std::map<std::string, size_t> index_of;
   std::map<std::string, size_t> depth;
+  std::map<std::string, size_t> remaining_parents;
+  std::map<std::string, std::vector<size_t>> pending_edges;
+  for (const auto& [name, degree] : in_degree) {
+    remaining_parents[name] = degree;
+  }
   std::set<std::string> facts{roots[0]};
   size_t max_depth = 0;
   bool any_union = false;
+  size_t shared_dimensions = 0;
 
   // Iterative DFS; the explicit stack holds edge indices to expand.
   const auto visit_node = [&](const std::string& name) {
@@ -147,13 +167,21 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
       facts.insert(edge.right);
       depth[edge.right] = 0;
     } else {
-      depth[edge.right] = depth[edge.left] + 1;
+      depth[edge.right] =
+          std::max(depth[edge.right], depth[edge.left] + 1);
       max_depth = std::max(max_depth, depth[edge.right]);
     }
+    pending_edges[edge.right].push_back(e);
+    if (--remaining_parents[edge.right] > 0) continue;  // conformed: defer
     visit_node(edge.right);
-    plan.edges.push_back(edge);
-    plan.metadata_edges.push_back(
-        {index_of[edge.left], index_of[edge.right], edge.kind});
+    std::vector<size_t>& arrived = pending_edges[edge.right];
+    std::sort(arrived.begin(), arrived.end());  // declaration order
+    if (arrived.size() > 1) ++shared_dimensions;
+    for (size_t pe : arrived) {
+      plan.edges.push_back(edges[pe]);
+      plan.metadata_edges.push_back(
+          {index_of[edges[pe].left], index_of[edge.right], edges[pe].kind});
+    }
     push_children(edge.right);
   }
   if (plan.sources.size() != nodes.size()) {
@@ -166,10 +194,19 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
     }
   }
 
+  // The conformed-dimension *count* is not recorded on the plan: the single
+  // source of truth is DiMetadata::num_shared_dimensions(), which
+  // DeriveGraph derives from the same edge set. The shape IS re-derived
+  // here because the planner must dispatch before any metadata exists; the
+  // two classifications agree on every multi-edge graph by construction
+  // (DeriveGraph never sees single-edge specs — those route to the
+  // pairwise pipeline).
   plan.shape = edges.size() == 1 ? metadata::IntegrationShape::kPairwise
                : any_union       ? metadata::IntegrationShape::kUnionOfStars
-               : max_depth > 1   ? metadata::IntegrationShape::kSnowflake
-                                 : metadata::IntegrationShape::kStar;
+               : shared_dimensions > 0
+                   ? metadata::IntegrationShape::kConformedSnowflake
+               : max_depth > 1 ? metadata::IntegrationShape::kSnowflake
+                               : metadata::IntegrationShape::kStar;
   return plan;
 }
 

@@ -11,10 +11,15 @@
 /// \file integration_graph.h
 /// The graph planner behind the edge-list `IntegrationSpec`: validates an
 /// edge set (connected, acyclic, one fact root, unions only between fact
-/// shards), classifies its shape (pairwise / star / snowflake /
-/// union-of-stars) and emits a topological plan — sources ordered root
-/// first, shard-major, with every edge's parent preceding its child — the
-/// exact layout `DiMetadata::DeriveGraph` requires.
+/// shards, at most one parent per *fact*), classifies its shape (pairwise /
+/// star / snowflake / conformed-snowflake / union-of-stars) and emits a
+/// topological plan — sources ordered root first, shard-major, with every
+/// edge's parent preceding its child — the exact layout
+/// `DiMetadata::DeriveGraph` requires. Graphs are DAGs, not trees: a
+/// dimension referenced by several join edges (a warehouse *conformed
+/// dimension* — one `date` or `customer` table serving two parents) is
+/// visited once, after its last parent, and its parent edges are emitted
+/// together.
 
 namespace amalur {
 namespace core {
@@ -39,8 +44,8 @@ struct IntegrationGraphPlan {
 /// non-empty, is the spec's explicit source list: every edge endpoint must
 /// appear in it and every declared source must be reached by an edge.
 /// Malformed graphs return `kInvalidArgument` with a precise message
-/// (self-loop, duplicate edge, unknown source, several parents, cycle,
-/// disconnected graph, union under a dimension, non-pairwise inner/full
+/// (self-loop, duplicate edge, unknown source, a multi-parent fact shard,
+/// cycle, disconnected graph, union under a dimension, non-pairwise full
 /// outer edges).
 Result<IntegrationGraphPlan> PlanIntegrationGraph(
     const std::vector<IntegrationEdge>& edges,

@@ -19,11 +19,19 @@ Plan Optimizer::Choose(const metadata::DiMetadata& metadata,
                        bool privacy_constrained) const {
   Plan plan;
   // Every explanation leads with the scenario's graph shape — pairwise,
-  // star, snowflake or union-of-stars — so `Explain` callers see what kind
-  // of integration the decision was made for.
-  const std::string shape_prefix =
+  // star, snowflake, conformed-snowflake or union-of-stars — so `Explain`
+  // callers see what kind of integration the decision was made for;
+  // conformed graphs also name how many dimensions are shared.
+  std::string shape_prefix =
       std::string("graph shape: ") +
-      metadata::IntegrationShapeToString(metadata.shape()) + "; ";
+      metadata::IntegrationShapeToString(metadata.shape());
+  if (metadata.num_shared_dimensions() > 0) {
+    shape_prefix += " (" + std::to_string(metadata.num_shared_dimensions()) +
+                    (metadata.num_shared_dimensions() == 1
+                         ? " shared dimension)"
+                         : " shared dimensions)");
+  }
+  shape_prefix += "; ";
   if (privacy_constrained) {
     plan.strategy = ExecutionStrategy::kFederate;
     // The shape picks the federated protocol (§V): horizontally
@@ -31,12 +39,30 @@ Plan Optimizer::Choose(const metadata::DiMetadata& metadata,
     // partitioned ones the n-ary vertical FLR per silo. The same predicate
     // drives the executor's dispatch, so the explanation cannot drift from
     // what actually runs.
-    const std::string protocol =
-        metadata.IsHorizontallyPartitioned()
-            ? "horizontal FedAvg over " +
-                  std::to_string(metadata.num_shards()) + " fact shards"
-            : "vertical n-ary FLR over " +
-                  std::to_string(metadata.num_sources()) + " silos";
+    std::string protocol;
+    if (metadata.IsHorizontallyPartitioned()) {
+      // Only the shards that actually become FedAvg participants:
+      // `AlignForHfl` skips empty row blocks (an empty fact silo, or a
+      // shard fully dropped by an inner-join edge), and the explanation
+      // must not promise participants that never train.
+      const size_t active_shards = metadata.num_active_shards();
+      protocol = "horizontal FedAvg over " + std::to_string(active_shards) +
+                 (active_shards == 1 ? " fact shard" : " fact shards");
+      if (active_shards < metadata.num_shards()) {
+        protocol += " (" +
+                    std::to_string(metadata.num_shards() - active_shards) +
+                    " empty shard(s) skipped)";
+      }
+      if (active_shards < 2) {
+        // The alignment will refuse a 0/1-participant federation; say so
+        // here instead of promising a run that cannot happen.
+        protocol += "; INFEASIBLE — horizontal federation needs >= 2 "
+                    "non-empty fact shards";
+      }
+    } else {
+      protocol = "vertical n-ary FLR over " +
+                 std::to_string(metadata.num_sources()) + " silos";
+    }
     plan.explanation =
         shape_prefix +
         "privacy constraint: source data may not leave its silo; the "

@@ -23,6 +23,7 @@ CostFeatures CostFeatures::FromMetadata(const metadata::DiMetadata& metadata) {
   features.shape = metadata.shape();
   features.num_shards = metadata.num_shards();
   features.join_depth = metadata.join_depth();
+  features.shared_dimensions = metadata.num_shared_dimensions();
   features.target_rows = metadata.target_rows();
   features.target_cols = metadata.target_cols();
   for (size_t k = 0; k < metadata.num_sources(); ++k) {
@@ -101,8 +102,9 @@ std::string CostFeatures::ToString() const {
   std::ostringstream out;
   out << "CostFeatures[" << rel::JoinKindToString(kind) << ", "
       << metadata::IntegrationShapeToString(shape) << ", shards=" << num_shards
-      << ", depth=" << join_depth << ", T " << target_rows << "x"
-      << target_cols << ", full_tgds=" << (all_tgds_full ? "yes" : "no");
+      << ", depth=" << join_depth << ", shared_dims=" << shared_dimensions
+      << ", T " << target_rows << "x" << target_cols
+      << ", full_tgds=" << (all_tgds_full ? "yes" : "no");
   for (size_t k = 0; k < sources.size(); ++k) {
     const SourceFeatures& s = sources[k];
     out << "; S" << k + 1 << " " << s.rows << "x" << s.cols << " contrib="

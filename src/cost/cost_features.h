@@ -56,6 +56,10 @@ struct CostFeatures {
   size_t num_shards = 1;
   /// Longest fact-to-leaf key-join chain (>= 2 for snowflakes).
   size_t join_depth = 1;
+  /// Conformed (shared) dimensions: sources referenced by several join
+  /// parents. Non-zero for conformed snowflakes and for union-of-stars
+  /// graphs whose shards share a dimension silo.
+  size_t shared_dimensions = 0;
   size_t target_rows = 0;
   size_t target_cols = 0;
   std::vector<SourceFeatures> sources;

@@ -114,6 +114,67 @@ Result<metadata::DiMetadata> DeriveSnowflakeMetadata(
   return metadata::DiMetadata::DeriveGraph(mapping, tables, edges, matchings);
 }
 
+Result<metadata::DiMetadata> DeriveConformedSnowflakeMetadata(
+    const rel::ConformedSnowflake& scenario, size_t inner_branches) {
+  const size_t branches = scenario.spec.branches;
+  AMALUR_CHECK_LE(inner_branches, branches)
+      << "cannot mark more inner edges than the scenario has branches";
+  const size_t n = scenario.tables.size();  // fact + branches + shared
+  std::set<std::string> keys(scenario.branch_keys.begin(),
+                             scenario.branch_keys.end());
+  keys.insert(scenario.shared_key);
+
+  std::vector<std::string> target_names;
+  std::vector<integration::SchemaMapping::SourceSpec> sources;
+  for (size_t k = 0; k < n; ++k) {
+    const rel::Table& table = scenario.tables[k];
+    const std::vector<std::string> features = FeatureColumns(table, keys);
+    // The shared dimension's features enter the target once, via its single
+    // source entry — that IS the conformed-dimension contract.
+    target_names.insert(target_names.end(), features.begin(), features.end());
+    sources.push_back(
+        {table.name(), table.schema(), SelfCorrespondences(features)});
+  }
+
+  // Edges: fact -> branch b (inner for the first `inner_branches`), then
+  // branch b -> shared for EVERY branch — the DAG's conformed fan-in.
+  std::vector<integration::SourceColumnMatch> source_matches;
+  std::vector<metadata::MetadataEdge> edges;
+  std::vector<rel::RowMatching> matchings;
+  const size_t shared_index = n - 1;
+  for (size_t b = 0; b < branches; ++b) {
+    const std::string& key = scenario.branch_keys[b];
+    source_matches.push_back({0, key, b + 1, key});
+    edges.push_back({0, b + 1,
+                     b < inner_branches ? rel::JoinKind::kInnerJoin
+                                        : rel::JoinKind::kLeftJoin});
+    AMALUR_ASSIGN_OR_RETURN(
+        rel::RowMatching matching,
+        rel::MatchRowsOnKeys(scenario.tables[0], scenario.tables[b + 1], {key},
+                             {key}));
+    matchings.push_back(std::move(matching));
+  }
+  for (size_t b = 0; b < branches; ++b) {
+    source_matches.push_back(
+        {b + 1, scenario.shared_key, shared_index, scenario.shared_key});
+    edges.push_back({b + 1, shared_index, rel::JoinKind::kLeftJoin});
+    AMALUR_ASSIGN_OR_RETURN(
+        rel::RowMatching matching,
+        rel::MatchRowsOnKeys(scenario.tables[b + 1],
+                             scenario.tables[shared_index],
+                             {scenario.shared_key}, {scenario.shared_key}));
+    matchings.push_back(std::move(matching));
+  }
+  AMALUR_ASSIGN_OR_RETURN(
+      integration::SchemaMapping mapping,
+      integration::SchemaMapping::Create(
+          rel::JoinKind::kLeftJoin, std::move(sources),
+          rel::Schema::AllDouble(target_names), std::move(source_matches)));
+  std::vector<const rel::Table*> tables;
+  for (const rel::Table& table : scenario.tables) tables.push_back(&table);
+  return metadata::DiMetadata::DeriveGraph(mapping, tables, edges, matchings);
+}
+
 Result<metadata::DiMetadata> DeriveUnionOfStarsMetadata(
     const rel::UnionOfStars& scenario) {
   const size_t shards = scenario.spec.shards;

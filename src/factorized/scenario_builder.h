@@ -38,6 +38,16 @@ Result<metadata::DiMetadata> DeriveSnowflakeMetadata(
 Result<metadata::DiMetadata> DeriveUnionOfStarsMetadata(
     const rel::UnionOfStars& scenario);
 
+/// Full pipeline for a generated conformed snowflake: left-join DAG mapping
+/// (target schema = y, fact features, each branch's features, then the
+/// shared dimension's features ONCE), ground-truth key matchings per edge
+/// — including one edge per branch into the shared dimension — and
+/// `DiMetadata::DeriveGraph` with its merged conformed indicator. Pass
+/// `inner_branches` > 0 to make the first that many fact→branch edges
+/// inner joins (rows with dangling branch references drop from the target).
+Result<metadata::DiMetadata> DeriveConformedSnowflakeMetadata(
+    const rel::ConformedSnowflake& scenario, size_t inner_branches = 0);
+
 }  // namespace factorized
 }  // namespace amalur
 

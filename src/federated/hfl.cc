@@ -64,6 +64,13 @@ Result<HflResult> TrainHorizontalFlr(const std::vector<HflPartition>& parties,
             la::DenseMatrix& local = weighted_models[p];
             const la::DenseMatrix& x = parties[p].features;
             const la::DenseMatrix& y = parties[p].labels;
+            if (x.rows() == 0) {
+              // An empty partition holds no evidence: its weighted model is
+              // exactly 0 (weight n_p = 0 in the fixed-order merge), never
+              // a NaN from the 1/0 local average below.
+              local = la::DenseMatrix(local.rows(), local.cols());
+              continue;
+            }
             const double inv_rows = 1.0 / static_cast<double>(x.rows());
             for (size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
               la::DenseMatrix residual = x.Multiply(local).Subtract(y);
@@ -165,46 +172,57 @@ Result<std::vector<HflPartition>> AlignForHfl(
         metadata.ShardRowEnd(s) - metadata.ShardRowBegin(s),
         metadata.target_cols());
   }
-  // Each silo adds its masked contribution T_k ∘ R_k into its own shard's
-  // block only, built at the block's height: D_k M_kᵀ is silo-sized, rows
-  // route through CI_k restricted to [begin, end), and redundancy-masked
-  // cells are simply not added. No full-target temporary, no cross-shard
-  // data.
+  // Each silo adds its masked contribution T_k ∘ R_k into every shard block
+  // its indicator reaches — `shards_reaching(k)`, a singleton for every
+  // non-conformed silo, so assembly stays O(rows of the own block) in the
+  // common case — built at the block's height: D_k M_kᵀ is silo-sized,
+  // rows route through CI_k restricted to [begin, end), and
+  // redundancy-masked cells are simply not added. A conformed dimension
+  // shared between shards serves each referencing block from its single
+  // silo. No full-target temporary, no cross-shard data.
   for (size_t k = 0; k < metadata.num_sources(); ++k) {
     const metadata::SourceMetadata& source = metadata.source(k);
-    const size_t s = metadata.shard_of(k);
-    const size_t begin = metadata.ShardRowBegin(s);
-    const size_t end = metadata.ShardRowEnd(s);
     const la::DenseMatrix expanded = source.mapping.ExpandColumns(source.data);
-    la::DenseMatrix& block = shard_blocks[s];
     const auto& masked_sets = source.redundancy.column_sets();
-    for (size_t i = begin; i < end; ++i) {
-      const int64_t source_row = source.indicator.At(i);
-      if (source_row < 0) continue;
-      const double* in = expanded.RowPtr(static_cast<size_t>(source_row));
-      double* out = block.RowPtr(i - begin);
-      for (size_t j = 0; j < metadata.target_cols(); ++j) out[j] += in[j];
-      const int32_t set_id = source.redundancy.row_set(i);
-      if (set_id >= 0) {
-        for (size_t j : masked_sets[static_cast<size_t>(set_id)]) {
-          out[j] -= in[j];  // masked cell: contributed upstream, not here
+    for (size_t s : metadata.shards_reaching(k)) {
+      const size_t begin = metadata.ShardRowBegin(s);
+      const size_t end = metadata.ShardRowEnd(s);
+      la::DenseMatrix& block = shard_blocks[s];
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t source_row = source.indicator.At(i);
+        if (source_row < 0) continue;
+        const double* in = expanded.RowPtr(static_cast<size_t>(source_row));
+        double* out = block.RowPtr(i - begin);
+        for (size_t j = 0; j < metadata.target_cols(); ++j) out[j] += in[j];
+        const int32_t set_id = source.redundancy.row_set(i);
+        if (set_id >= 0) {
+          for (size_t j : masked_sets[static_cast<size_t>(set_id)]) {
+            out[j] -= in[j];  // masked cell: contributed upstream, not here
+          }
         }
       }
     }
   }
 
+  // A shard with zero target rows (an empty fact silo, or every row of the
+  // shard dropped by an inner-join edge) must not become a FedAvg
+  // participant: its local average is 0/0. Skip it — a participant that
+  // holds no rows contributes weight 0 to the merge anyway. The surviving
+  // participant count is exactly `metadata.num_active_shards()`, which the
+  // optimizer's explanation reports.
   std::vector<HflPartition> partitions;
   partitions.reserve(metadata.num_shards());
   for (la::DenseMatrix& block : shard_blocks) {
-    if (block.rows() == 0) {
-      return Status::FailedPrecondition(
-          "a fact shard contributes no target rows; horizontal federation "
-          "needs a non-empty partition per shard");
-    }
+    if (block.rows() == 0) continue;
     HflPartition partition;
     partition.features = block.SelectColumns(feature_columns);
     partition.labels = block.SelectColumns({label_column});
     partitions.push_back(std::move(partition));
+  }
+  if (partitions.size() < 2) {
+    return Status::FailedPrecondition(
+        "horizontal federation needs >= 2 non-empty fact shards, got ",
+        partitions.size());
   }
   return partitions;
 }

@@ -54,13 +54,17 @@ struct HflResult {
 Result<HflResult> TrainHorizontalFlr(const std::vector<HflPartition>& parties,
                                      const HflOptions& options, MessageBus* bus);
 
-/// Builds one horizontal partition per fact shard of a union (pairwise) or
-/// union-of-stars integration: shard s's partition covers its contiguous
-/// target-row block, assembled only from the shard's own silos (its fact
-/// plus that fact's dimension subtree) — no cross-shard data is
-/// materialized. Features are the target schema minus `label_column`, in
-/// target order, so the FedAvg global model lands directly in
-/// target-feature order.
+/// Builds one horizontal partition per *non-empty* fact shard of a union
+/// (pairwise) or union-of-stars integration: shard s's partition covers its
+/// contiguous target-row block, assembled only from the silos whose
+/// indicators reach that block (its fact, that fact's dimension subgraph,
+/// and any conformed dimension shared between shards) — no cross-shard
+/// data is materialized. A shard with zero target rows (an empty fact
+/// silo, or every row dropped by an inner-join edge) is skipped rather
+/// than becoming a 0/0 FedAvg participant; fewer than two non-empty shards
+/// is `kFailedPrecondition`. Features are the target schema minus
+/// `label_column`, in target order, so the FedAvg global model lands
+/// directly in target-feature order.
 Result<std::vector<HflPartition>> AlignForHfl(
     const metadata::DiMetadata& metadata, size_t label_column);
 

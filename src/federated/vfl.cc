@@ -70,7 +70,8 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
   for (size_t k = 1; k < n_parties; ++k) {
     if (parties[k].x.rows() != n_rows) {
       return Status::InvalidArgument(
-          "party blocks and labels must be row-aligned; labels must be n×1");
+          "party ", k, "'s feature block has ", parties[k].x.rows(),
+          " rows; every party must be row-aligned with party 0's ", n_rows);
     }
   }
   if (n_rows == 0) return Status::InvalidArgument("no training rows");

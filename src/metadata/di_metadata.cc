@@ -1,7 +1,10 @@
 #include "metadata/di_metadata.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "integration/entity_resolution.h"
 
@@ -89,6 +92,8 @@ const char* IntegrationShapeToString(IntegrationShape shape) {
       return "snowflake";
     case IntegrationShape::kUnionOfStars:
       return "union-of-stars";
+    case IntegrationShape::kConformedSnowflake:
+      return "conformed-snowflake";
   }
   return "?";
 }
@@ -160,11 +165,13 @@ Result<DiMetadata> DiMetadata::Derive(const integration::SchemaMapping& mapping,
     metadata.num_shards_ = 2;
     metadata.join_depth_ = 0;
     metadata.source_shard_ = {0, 1};
+    metadata.source_shards_ = {{0}, {1}};
     metadata.shard_offsets_ = {0, base.NumRows(), metadata.target_rows_};
   } else {
     metadata.num_shards_ = 1;
     metadata.join_depth_ = 1;
     metadata.source_shard_ = {0, 0};
+    metadata.source_shards_ = {{0}, {0}};
     metadata.shard_offsets_ = {0, metadata.target_rows_};
   }
 
@@ -205,6 +212,7 @@ Result<DiMetadata> DiMetadata::DeriveStar(
   metadata.num_shards_ = 1;
   metadata.join_depth_ = 1;
   metadata.source_shard_.assign(n_sources, 0);
+  metadata.source_shards_.assign(n_sources, {0});
   metadata.shard_offsets_ = {0, base_rows};
 
   // CI vectors: base = identity; dimension k from its matching (functional).
@@ -243,20 +251,18 @@ Result<DiMetadata> DiMetadata::DeriveGraph(
   if (n_sources < 2) {
     return Status::InvalidArgument("a graph scenario needs >= 2 sources");
   }
-  if (edges.size() != n_sources - 1) {
-    return Status::InvalidArgument("a tree over ", n_sources,
-                                   " sources needs ", n_sources - 1,
-                                   " edges, got ", edges.size());
-  }
   if (matchings.size() != edges.size()) {
     return Status::InvalidArgument("expected ", edges.size(),
                                    " matchings, got ", matchings.size());
   }
 
-  // ---- Structural validation. `parent < child` with exactly one parent per
-  // non-root node makes the edge set a tree rooted at 0 in topological
-  // order; union edges may only hang off fact nodes.
-  std::vector<int64_t> parent_edge_of(n_sources, -1);
+  // ---- Structural validation. `parent < child` with at least one parent
+  // per non-root node makes the edge set a connected DAG rooted at 0 in
+  // topological order; several join parents are legal (a conformed
+  // dimension), several parents of a *fact* are not, and union edges may
+  // only hang off fact nodes.
+  std::vector<std::vector<size_t>> parent_edges_of(n_sources);
+  std::set<std::pair<size_t, size_t>> seen_pairs;
   for (size_t e = 0; e < edges.size(); ++e) {
     const MetadataEdge& edge = edges[e];
     if (edge.child >= n_sources || edge.parent >= edge.child) {
@@ -264,33 +270,44 @@ Result<DiMetadata> DiMetadata::DeriveGraph(
           "graph edge ", e, " must satisfy parent < child < ", n_sources,
           " (sources in topological order, root first)");
     }
-    if (edge.kind != rel::JoinKind::kLeftJoin &&
-        edge.kind != rel::JoinKind::kUnion) {
+    if (edge.kind == rel::JoinKind::kFullOuterJoin) {
       return Status::InvalidArgument(
-          "graph edges are left joins or unions, got ",
+          "graph edges are left/inner joins or unions, got ",
           rel::JoinKindToString(edge.kind), " on edge ", e);
     }
-    if (parent_edge_of[edge.child] != -1) {
-      return Status::InvalidArgument("source ", edge.child,
-                                     " has several parent edges; integration "
-                                     "graphs must form a tree");
+    if (!seen_pairs.insert({edge.parent, edge.child}).second) {
+      return Status::InvalidArgument("duplicate graph edge ", edge.parent,
+                                     " -> ", edge.child);
     }
-    parent_edge_of[edge.child] = static_cast<int64_t>(e);
+    parent_edges_of[edge.child].push_back(e);
+  }
+  for (size_t k = 1; k < n_sources; ++k) {
+    if (parent_edges_of[k].empty()) {
+      return Status::InvalidArgument(
+          "source ", k,
+          " has no parent edge; integration graphs must be connected");
+    }
   }
 
-  // ---- Fact/shard/depth assignment. Facts are the root and every node
-  // reached through union edges; a shard is one fact plus its dimension
-  // subtree, stacked into the target in ascending fact order.
+  // ---- Fact/shard assignment in edge order (identical to the historical
+  // tree derivation). Facts are the root and every node reached through
+  // union edges; a shard is one fact plus its dimension subgraph, stacked
+  // into the target in ascending fact order.
   std::vector<uint8_t> is_fact(n_sources, 0);
   std::vector<size_t> shard_of(n_sources, 0);
-  std::vector<size_t> depth(n_sources, 0);
   is_fact[0] = 1;
   std::vector<size_t> fact_of_shard{0};
   bool any_union = false;
-  size_t max_depth = 0;
+  bool any_inner = false;
   for (size_t e = 0; e < edges.size(); ++e) {
     const MetadataEdge& edge = edges[e];
     if (edge.kind == rel::JoinKind::kUnion) {
+      if (parent_edges_of[edge.child].size() > 1) {
+        return Status::InvalidArgument(
+            "source ", edge.child,
+            " is a fact shard (a union-edge child) with several parent "
+            "edges; only dimensions may be conformed");
+      }
       if (!is_fact[edge.parent]) {
         return Status::InvalidArgument(
             "union edge ", e, " hangs off dimension source ", edge.parent,
@@ -304,22 +321,47 @@ Result<DiMetadata> DiMetadata::DeriveGraph(
       is_fact[edge.child] = 1;
       shard_of[edge.child] = fact_of_shard.size();
       fact_of_shard.push_back(edge.child);
-    } else {
-      shard_of[edge.child] = shard_of[edge.parent];
-      depth[edge.child] = depth[edge.parent] + 1;
-      max_depth = std::max(max_depth, depth[edge.child]);
+    } else if (edge.kind == rel::JoinKind::kInnerJoin) {
+      any_inner = true;
     }
+  }
+
+  // ---- Depth, reachable-shard sets and the conformed-dimension count, in
+  // child order (every parent's values are complete by then).
+  std::vector<size_t> depth(n_sources, 0);
+  std::vector<std::set<size_t>> shards_reaching(n_sources);
+  shards_reaching[0] = {0};
+  size_t max_depth = 0;
+  size_t shared_dimensions = 0;
+  for (size_t c = 1; c < n_sources; ++c) {
+    const std::vector<size_t>& parents = parent_edges_of[c];
+    if (is_fact[c]) {
+      shards_reaching[c] = {shard_of[c]};
+      continue;  // depth 0: a fresh shard root
+    }
+    for (size_t e : parents) {
+      const size_t p = edges[e].parent;
+      depth[c] = std::max(depth[c], depth[p] + 1);
+      shards_reaching[c].insert(shards_reaching[p].begin(),
+                                shards_reaching[p].end());
+    }
+    shard_of[c] = shard_of[edges[parents[0]].parent];
+    max_depth = std::max(max_depth, depth[c]);
+    if (parents.size() > 1) ++shared_dimensions;
   }
 
   DiMetadata metadata;
   metadata.kind_ = mapping.kind();
   metadata.target_schema_ = mapping.target_schema();
   metadata.target_cols_ = metadata.target_schema_.num_fields();
-  metadata.shape_ = any_union ? IntegrationShape::kUnionOfStars
+  metadata.shape_ = any_union            ? IntegrationShape::kUnionOfStars
+                    : shared_dimensions > 0
+                        ? IntegrationShape::kConformedSnowflake
                     : max_depth > 1 ? IntegrationShape::kSnowflake
                                     : IntegrationShape::kStar;
   metadata.num_shards_ = fact_of_shard.size();
   metadata.join_depth_ = max_depth;
+  metadata.num_shared_dimensions_ = shared_dimensions;
   const rel::JoinKind expected_kind =
       any_union ? rel::JoinKind::kUnion : rel::JoinKind::kLeftJoin;
   if (mapping.kind() != expected_kind) {
@@ -329,63 +371,138 @@ Result<DiMetadata> DiMetadata::DeriveGraph(
         rel::JoinKindToString(mapping.kind()));
   }
 
-  // ---- Shard blocks: target rows are the fact shards stacked in order.
+  // ---- Shard blocks: target rows are the fact shards stacked in order
+  // (inner-join edges may drop rows below).
   std::vector<size_t> shard_offset(fact_of_shard.size() + 1, 0);
   for (size_t s = 0; s < fact_of_shard.size(); ++s) {
     shard_offset[s + 1] = shard_offset[s] + tables[fact_of_shard[s]]->NumRows();
   }
-  metadata.target_rows_ = shard_offset.back();
-  metadata.source_shard_ = shard_of;
-  metadata.shard_offsets_ = shard_offset;
+  const size_t full_rows = shard_offset.back();
 
-  // ---- Shard-local CI per node (fact rows of its shard -> node rows).
-  // Facts are identities; a join child *composes* its parent's local CI with
-  // the edge's functional matching, so a chained dimension still resolves in
-  // one indirection — the snowflake derivation.
-  std::vector<std::vector<int64_t>> local_ci(n_sources);
+  // ---- Global CI per node. Facts are identities inside their block; a
+  // join child *composes* each parent's CI with the edge's functional
+  // matching, so a chained dimension still resolves in one indirection —
+  // the snowflake derivation. A conformed dimension merges the
+  // compositions of all its parent chains into ONE indicator: chains that
+  // resolve the same target row to different dimension rows contradict the
+  // conformed contract and fail.
+  std::vector<std::vector<int64_t>> ci(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) ci[k].assign(full_rows, -1);
   for (size_t k = 0; k < n_sources; ++k) {
     if (!is_fact[k]) continue;
-    local_ci[k].resize(tables[k]->NumRows());
-    for (size_t i = 0; i < local_ci[k].size(); ++i) {
-      local_ci[k][i] = static_cast<int64_t>(i);
+    const size_t offset = shard_offset[shard_of[k]];
+    for (size_t i = 0; i < tables[k]->NumRows(); ++i) {
+      ci[k][offset + i] = static_cast<int64_t>(i);
     }
   }
-  for (size_t e = 0; e < edges.size(); ++e) {
-    const MetadataEdge& edge = edges[e];
-    if (edge.kind != rel::JoinKind::kLeftJoin) continue;
-    const size_t parent_rows = tables[edge.parent]->NumRows();
-    std::vector<int64_t> parent_to_child(parent_rows, -1);
-    for (const auto& [parent_row, child_row] : matchings[e].matched) {
-      if (parent_row >= parent_rows ||
-          child_row >= tables[edge.child]->NumRows()) {
-        return Status::OutOfRange("row match out of range on graph edge ", e);
+  // Inner-join restriction mask, filled during composition: an inner edge
+  // drops every target row of a shard that references its parent but where
+  // *this edge's own chain* does not resolve the child — the relational
+  // inner join's row restriction applied through the metadata. The check
+  // is per edge, NOT against the merged indicator: a conformed dimension
+  // reached through another parent's chain must not launder a row past an
+  // inner edge whose own reference dangles.
+  std::vector<uint8_t> keep;
+  if (any_inner) keep.assign(full_rows, 1);
+  // Conformed-chain disagreements are *recorded*, not raised inline: a row
+  // an inner-join edge drops never reaches the target, so chains that only
+  // disagree on dropped rows are fine. First conflict per row, by row.
+  struct ChainConflict {
+    size_t child = 0;
+    size_t edge = 0;
+    int64_t first_row = 0;
+    int64_t second_row = 0;
+  };
+  std::map<size_t, ChainConflict> conflicts;
+  for (size_t c = 1; c < n_sources; ++c) {
+    for (size_t e : parent_edges_of[c]) {
+      const MetadataEdge& edge = edges[e];
+      if (edge.kind == rel::JoinKind::kUnion) continue;
+      const size_t parent_rows = tables[edge.parent]->NumRows();
+      std::vector<int64_t> parent_to_child(parent_rows, -1);
+      for (const auto& [parent_row, child_row] : matchings[e].matched) {
+        if (parent_row >= parent_rows ||
+            child_row >= tables[edge.child]->NumRows()) {
+          return Status::OutOfRange("row match out of range on graph edge ", e);
+        }
+        if (parent_to_child[parent_row] != -1) {
+          return Status::FailedPrecondition(
+              "row ", parent_row, " of source ", edge.parent,
+              " matches several rows of source ", edge.child,
+              "; graph derivation requires functional join matchings");
+        }
+        parent_to_child[parent_row] = static_cast<int64_t>(child_row);
       }
-      if (parent_to_child[parent_row] != -1) {
-        return Status::FailedPrecondition(
-            "row ", parent_row, " of source ", edge.parent,
-            " matches several rows of source ", edge.child,
-            "; graph derivation requires functional join matchings");
-      }
-      parent_to_child[parent_row] = static_cast<int64_t>(child_row);
-    }
-    const std::vector<int64_t>& up = local_ci[edge.parent];
-    local_ci[edge.child].assign(up.size(), -1);
-    for (size_t i = 0; i < up.size(); ++i) {
-      if (up[i] >= 0) {
-        local_ci[edge.child][i] = parent_to_child[static_cast<size_t>(up[i])];
+      // The parent's CI is -1 outside its reachable shards' blocks, so
+      // composition only ever visits those blocks — a 50-shard union pays
+      // for its own shard, not the whole target.
+      const bool inner = edge.kind == rel::JoinKind::kInnerJoin;
+      const std::vector<int64_t>& up = ci[edge.parent];
+      for (size_t s : shards_reaching[edge.parent]) {
+        for (size_t i = shard_offset[s]; i < shard_offset[s + 1]; ++i) {
+          const int64_t cand =
+              up[i] < 0 ? -1 : parent_to_child[static_cast<size_t>(up[i])];
+          if (cand < 0) {
+            if (inner) keep[i] = 0;  // this edge's chain dangles: drop
+            continue;
+          }
+          if (ci[c][i] >= 0 && ci[c][i] != cand) {
+            conflicts.emplace(i, ChainConflict{c, e, ci[c][i], cand});
+            continue;  // keep the first chain's value; judged below
+          }
+          ci[c][i] = cand;
+        }
       }
     }
   }
 
-  // ---- Global CI: place each node's local CI into its shard's block.
-  std::vector<std::vector<int64_t>> ci(n_sources);
-  for (size_t k = 0; k < n_sources; ++k) {
-    ci[k].assign(metadata.target_rows_, -1);
-    const size_t offset = shard_offset[shard_of[k]];
-    for (size_t i = 0; i < local_ci[k].size(); ++i) {
-      ci[k][offset + i] = local_ci[k][i];
+  // ---- Judge recorded chain conflicts now that the keep mask is final:
+  // only a conflict on a row that actually reaches the target violates the
+  // conformed contract.
+  for (const auto& [row, conflict] : conflicts) {
+    if (!keep.empty() && !keep[row]) continue;  // row dropped: harmless
+    return Status::FailedPrecondition(
+        "target row ", row, ": conformed dimension source ", conflict.child,
+        " resolves to row ", conflict.first_row,
+        " through one parent chain and row ", conflict.second_row,
+        " through graph edge ", conflict.edge,
+        "; conformed-dimension chains must agree");
+  }
+
+  // ---- Apply the inner restriction: compact rows, offsets and every CI.
+  // Graphs without inner edges skip this entirely (bitwise-stable tree
+  // fast path).
+  if (any_inner) {
+    size_t kept = 0;
+    std::vector<size_t> new_offsets(shard_offset.size(), 0);
+    std::vector<int64_t> new_index(full_rows, -1);
+    for (size_t s = 0; s + 1 < shard_offset.size(); ++s) {
+      for (size_t i = shard_offset[s]; i < shard_offset[s + 1]; ++i) {
+        if (keep[i]) new_index[i] = static_cast<int64_t>(kept++);
+      }
+      new_offsets[s + 1] = kept;
+    }
+    if (kept != full_rows) {
+      for (size_t k = 0; k < n_sources; ++k) {
+        std::vector<int64_t> compacted(kept, -1);
+        for (size_t i = 0; i < full_rows; ++i) {
+          if (new_index[i] >= 0) {
+            compacted[static_cast<size_t>(new_index[i])] = ci[k][i];
+          }
+        }
+        ci[k] = std::move(compacted);
+      }
+      shard_offset = std::move(new_offsets);
     }
   }
+  metadata.target_rows_ = shard_offset.back();
+  metadata.source_shard_ = shard_of;
+  metadata.source_shards_.reserve(n_sources);
+  for (size_t k = 0; k < n_sources; ++k) {
+    metadata.source_shards_.emplace_back(shards_reaching[k].begin(),
+                                         shards_reaching[k].end());
+  }
+  metadata.shard_offsets_ = shard_offset;
 
   AMALUR_RETURN_NOT_OK(FillSources(mapping, tables, ci, &metadata.sources_));
   return metadata;

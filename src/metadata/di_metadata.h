@@ -31,19 +31,29 @@ namespace metadata {
 /// generalizations the edge-list `IntegrationSpec` describes: a star joins
 /// one fact table to depth-1 dimensions, a snowflake chains dimensions of
 /// dimensions, and a union-of-stars stacks horizontally partitioned fact
-/// shards (each with its own dimension subtree) into one target.
+/// shards (each with its own dimension subtree) into one target. A
+/// *conformed snowflake* is a snowflake whose join edges form a DAG rather
+/// than a tree: at least one dimension (a warehouse "conformed dimension" —
+/// think one `date` or `customer` table) is referenced by several parents,
+/// yet appears exactly once in the target schema. Union-of-stars graphs may
+/// also share a dimension between shards; they keep the union-of-stars
+/// shape and report the shared count via `num_shared_dimensions()`.
 enum class IntegrationShape : int8_t {
   kPairwise = 0,
   kStar = 1,
   kSnowflake = 2,
   kUnionOfStars = 3,
+  kConformedSnowflake = 4,
 };
 
 const char* IntegrationShapeToString(IntegrationShape shape);
 
 /// One edge of an integration graph over the `tables` of `DeriveGraph`,
 /// by source index. `kLeftJoin` edges join a retained parent to a child
-/// dimension; `kUnion` edges stack a sibling fact shard under the root.
+/// dimension; `kInnerJoin` edges do the same but additionally *restrict*
+/// the target row set to rows where the child is present; `kUnion` edges
+/// stack a sibling fact shard under the root. Several join edges may share
+/// one child — a conformed dimension.
 struct MetadataEdge {
   size_t parent = 0;
   size_t child = 0;
@@ -92,27 +102,44 @@ class DiMetadata {
       const std::vector<const rel::Table*>& tables,
       const std::vector<rel::RowMatching>& matchings);
 
-  /// Derives metadata for a general integration *graph*: a tree of sources
-  /// rooted at `tables[0]` whose edges are left joins (parent retained,
-  /// child dimension) or unions (sibling fact shards). Generalizes
-  /// `DeriveStar` — a pure depth-1 left-join tree produces bitwise-identical
-  /// metadata — with two new derivations:
+  /// Derives metadata for a general integration *graph*: a DAG of sources
+  /// rooted at `tables[0]` whose edges are joins (parent retained, child
+  /// dimension; `kLeftJoin` keeps unmatched parent rows, `kInnerJoin` drops
+  /// them) or unions (sibling fact shards). Generalizes `DeriveStar` — a
+  /// pure depth-1 left-join tree produces bitwise-identical metadata — with
+  /// these derivations:
   ///
   ///  * **Snowflake** (dimension-of-dimension chains): a sub-dimension's
   ///    indicator is the *composition* of the matchings along its chain —
   ///    CI_sub[i] = m_dim→sub[ CI_dim[i] ] — so the factorized runtime sees
   ///    one fan-out per silo, however deep the chain.
+  ///  * **Conformed dimensions** (a dimension with several join-edge
+  ///    parents): each parent chain composes independently and the results
+  ///    merge into ONE indicator — the dimension's columns appear once in
+  ///    the target schema and its redundancy is counted once. Chains that
+  ///    resolve a target row to *different* dimension rows contradict the
+  ///    conformed contract and fail with `kFailedPrecondition`.
+  ///  * **Inner-join edges**: every target row of a shard that references
+  ///    the edge's parent but where *that edge's own* composed chain does
+  ///    not resolve the child is dropped from the target — the relational
+  ///    inner join's row restriction, applied through the metadata. The
+  ///    check is per edge: a conformed dimension resolved through a
+  ///    different parent's chain does not rescue a row whose inner-edge
+  ///    reference dangles.
   ///  * **Union-of-stars** (`kUnion` edges between fact shards): target rows
   ///    are the shard blocks stacked in source order; each shard's sources
   ///    get block-local indicators (-1 outside their shard), which makes
-  ///    cross-shard redundancy vanish structurally.
+  ///    cross-shard redundancy vanish structurally. A dimension may be
+  ///    shared between shards (its indicator is then defined in several
+  ///    blocks).
   ///
-  /// Requirements: `edges` form a tree with `parent < child` (sources in
-  /// topological order, root first), `matchings[e]` relates
-  /// `tables[edges[e].parent]` rows to `tables[edges[e].child]` rows and
-  /// must be functional for join edges and empty for union edges, and
-  /// `mapping.kind()` is `kUnion` when any union edge exists, `kLeftJoin`
-  /// otherwise.
+  /// Requirements: every edge satisfies `parent < child` (sources in
+  /// topological order, root first), every non-root source has >= 1 parent
+  /// edge, fact shards (the root, union-edge children) have at most one,
+  /// `matchings[e]` relates `tables[edges[e].parent]` rows to
+  /// `tables[edges[e].child]` rows and must be functional for join edges
+  /// and empty for union edges, and `mapping.kind()` is `kUnion` when any
+  /// union edge exists, `kLeftJoin` otherwise.
   static Result<DiMetadata> DeriveGraph(
       const integration::SchemaMapping& mapping,
       const std::vector<const rel::Table*>& tables,
@@ -133,9 +160,24 @@ class DiMetadata {
   IntegrationShape shape() const { return shape_; }
   /// Number of horizontally stacked fact shards (1 unless union-of-stars).
   size_t num_shards() const { return num_shards_; }
+  /// Shards with a non-empty target-row block — the ones that can actually
+  /// participate in per-shard execution (an empty fact silo, or a shard
+  /// fully dropped by an inner-join edge, contributes no rows). The single
+  /// source of truth behind `AlignForHfl`'s participant set and the
+  /// optimizer's FedAvg explanation.
+  size_t num_active_shards() const {
+    size_t active = 0;
+    for (size_t s = 0; s + 1 < shard_offsets_.size(); ++s) {
+      if (shard_offsets_[s] < shard_offsets_[s + 1]) ++active;
+    }
+    return active;
+  }
   /// Longest key-join chain from a fact to a leaf dimension (1 for stars
   /// and pairwise joins, >= 2 for snowflakes, 0 for pure unions).
   size_t join_depth() const { return join_depth_; }
+  /// Number of conformed (shared) dimensions: sources referenced by several
+  /// join-edge parents (0 for trees).
+  size_t num_shared_dimensions() const { return num_shared_dimensions_; }
 
   /// Whether the scenario is horizontally partitioned (a pairwise union or
   /// a union-of-stars). The single source of truth for the federated
@@ -148,11 +190,24 @@ class DiMetadata {
   }
 
   /// Shard source k belongs to (a shard = one fact plus its dimension
-  /// subtree; always 0 for join-only scenarios). The horizontal federated
-  /// runtime groups silos into FedAvg participants with this.
+  /// subtree; always 0 for join-only scenarios). A conformed dimension
+  /// referenced from several shards reports the *first* referencing shard;
+  /// consumers that assemble per-shard data (e.g. `AlignForHfl`) must scan
+  /// each shard's row block through the indicator instead of trusting this
+  /// single id. The horizontal federated runtime groups silos into FedAvg
+  /// participants with this.
   size_t shard_of(size_t k) const {
     AMALUR_CHECK_LT(k, source_shard_.size()) << "source index";
     return source_shard_[k];
+  }
+  /// Every shard whose row block source k's indicator can reach, ascending.
+  /// `{shard_of(k)}` for all tree-shaped graphs; a conformed dimension
+  /// referenced from several shards lists each. Consumers assembling
+  /// per-shard data iterate exactly these blocks (CI_k is -1 everywhere
+  /// else).
+  const std::vector<size_t>& shards_reaching(size_t k) const {
+    AMALUR_CHECK_LT(k, source_shards_.size()) << "source index";
+    return source_shards_[k];
   }
   /// Target-row block of shard s: rows [ShardRowBegin(s), ShardRowEnd(s)).
   /// Shard blocks are contiguous and stacked in shard order.
@@ -188,8 +243,12 @@ class DiMetadata {
   IntegrationShape shape_ = IntegrationShape::kPairwise;
   size_t num_shards_ = 1;
   size_t join_depth_ = 1;
+  size_t num_shared_dimensions_ = 0;
   /// Per-source shard id (parallel to `sources_`).
   std::vector<size_t> source_shard_;
+  /// Per-source reachable shards, ascending (parallel to `sources_`;
+  /// singleton except for cross-shard conformed dimensions).
+  std::vector<std::vector<size_t>> source_shards_;
   /// Shard target-row block boundaries (size num_shards_ + 1).
   std::vector<size_t> shard_offsets_;
 };

@@ -305,6 +305,119 @@ Snowflake GenerateSnowflake(const SnowflakeSpec& spec) {
   return out;
 }
 
+ConformedSnowflake GenerateConformedSnowflake(
+    const ConformedSnowflakeSpec& spec) {
+  AMALUR_CHECK_GE(spec.branches, 2u)
+      << "a conformed snowflake needs >= 2 branches sharing the dimension";
+  // The shared dimension takes the prefix AFTER the branches; more branches
+  // than prefixes would silently collide column names (duplicate target
+  // fields resolve first-match in SchemaMapping and corrupt ground truth).
+  AMALUR_CHECK_LT(spec.branches, kNumLevelPrefixes)
+      << "at most " << kNumLevelPrefixes - 1
+      << " branches (distinct feature prefixes)";
+  AMALUR_CHECK_GE(spec.branch_rows, 1u) << "branches need rows";
+  AMALUR_CHECK_GE(spec.shared_rows, 1u) << "the shared dimension needs rows";
+  Rng rng(spec.seed);
+  ConformedSnowflake out;
+  out.spec = spec;
+  out.shared_key = "shared_id";
+  const size_t R = spec.branch_rows;
+  const size_t S = spec.shared_rows;
+
+  // ---- The shared (conformed) dimension, then the branches. Branch b's
+  // row j references shared row ((j - b) mod R) mod S, and the fact
+  // references branch b's row (i + b) mod R — so every parent chain
+  // resolves fact row i to the SAME shared row (i mod R) mod S: the
+  // conformed contract, by construction.
+  la::DenseMatrix shared_values;
+  Table shared = MakeKeyedDimension(
+      "shared", out.shared_key, S, spec.shared_features,
+      kLevelPrefixes[spec.branches % kNumLevelPrefixes], &rng, &shared_values);
+
+  std::vector<la::DenseMatrix> branch_values(spec.branches);
+  std::vector<Table> branch_tables;
+  for (size_t b = 0; b < spec.branches; ++b) {
+    out.branch_keys.push_back("branch" + std::to_string(b) + "_id");
+    Table branch = MakeKeyedDimension(
+        "branch" + std::to_string(b), out.branch_keys[b], R,
+        spec.branch_features, kLevelPrefixes[b % kNumLevelPrefixes], &rng,
+        &branch_values[b]);
+    std::vector<int64_t> shared_refs(R);
+    for (size_t j = 0; j < R; ++j) {
+      shared_refs[j] = static_cast<int64_t>(((j + R - (b % R)) % R) % S);
+    }
+    AMALUR_CHECK_OK(branch.AddColumn(
+        Column::FromInt64s(out.shared_key, std::move(shared_refs))));
+    branch_tables.push_back(std::move(branch));
+  }
+
+  // ---- The fact: one key per branch, label linear in everything (the
+  // shared features enter ONCE, through the conformed row).
+  const size_t matched = std::min<size_t>(
+      spec.fact_rows,
+      static_cast<size_t>(std::llround(
+          spec.match_fraction * static_cast<double>(spec.fact_rows))));
+  const std::vector<double> fact_weights =
+      LabelWeights(spec.fact_features, &rng);
+  std::vector<std::vector<double>> branch_weights(spec.branches);
+  for (size_t b = 0; b < spec.branches; ++b) {
+    branch_weights[b] = LabelWeights(spec.branch_features, &rng);
+  }
+  const std::vector<double> shared_weights =
+      LabelWeights(spec.shared_features, &rng);
+  la::DenseMatrix x =
+      la::DenseMatrix::RandomGaussian(spec.fact_rows, spec.fact_features, &rng);
+
+  Table fact("fact");
+  for (size_t b = 0; b < spec.branches; ++b) {
+    std::vector<int64_t> keys(spec.fact_rows);
+    for (size_t i = 0; i < spec.fact_rows; ++i) {
+      keys[i] = i < matched
+                    ? static_cast<int64_t>((i + b) % R)
+                    // Dangling reference: a key no branch row carries.
+                    : static_cast<int64_t>(R + i);
+    }
+    AMALUR_CHECK_OK(
+        fact.AddColumn(Column::FromInt64s(out.branch_keys[b], std::move(keys))));
+  }
+  {
+    std::vector<double> y(spec.fact_rows);
+    for (size_t i = 0; i < spec.fact_rows; ++i) {
+      double signal = 0.0;
+      for (size_t j = 0; j < spec.fact_features; ++j) {
+        signal += fact_weights[j] * x.At(i, j);
+      }
+      if (i < matched) {
+        for (size_t b = 0; b < spec.branches; ++b) {
+          const size_t row = (i + b) % R;
+          for (size_t j = 0; j < spec.branch_features; ++j) {
+            signal += branch_weights[b][j] * branch_values[b].At(row, j);
+          }
+        }
+        const size_t shared_row = (i % R) % S;
+        for (size_t j = 0; j < spec.shared_features; ++j) {
+          signal += shared_weights[j] * shared_values.At(shared_row, j);
+        }
+      } else {
+        signal += rng.NextGaussian();  // unobserved dimension part
+      }
+      y[i] = signal + 0.1 * rng.NextGaussian();
+    }
+    AMALUR_CHECK_OK(fact.AddColumn(Column::FromDoubles("y", std::move(y))));
+  }
+  for (size_t j = 0; j < spec.fact_features; ++j) {
+    std::vector<double> col(spec.fact_rows);
+    for (size_t i = 0; i < spec.fact_rows; ++i) col[i] = x.At(i, j);
+    AMALUR_CHECK_OK(fact.AddColumn(
+        Column::FromDoubles("x" + std::to_string(j), std::move(col))));
+  }
+
+  out.tables.push_back(std::move(fact));
+  for (Table& branch : branch_tables) out.tables.push_back(std::move(branch));
+  out.tables.push_back(std::move(shared));
+  return out;
+}
+
 UnionOfStars GenerateUnionOfStars(const UnionOfStarsSpec& spec) {
   AMALUR_CHECK_GE(spec.shards, 2u) << "a union-of-stars needs >= 2 shards";
   Rng rng(spec.seed);

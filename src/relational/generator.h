@@ -104,6 +104,50 @@ struct Snowflake {
 /// Generates a snowflake per `spec`. Deterministic in `spec.seed`.
 Snowflake GenerateSnowflake(const SnowflakeSpec& spec);
 
+/// Specification of a synthetic *conformed-snowflake* scenario: one fact
+/// table referencing `branches` intermediate dimensions, all of which
+/// reference ONE shared ("conformed") dimension — the classic warehouse
+/// shape of a single `date`/`customer` table serving several parents. The
+/// per-branch key assignments are constructed so every parent chain
+/// resolves a fact row to the *same* shared row (the conformed contract),
+/// and the label is linear in the fact's, every branch's and the shared
+/// dimension's features — the shared features count once.
+struct ConformedSnowflakeSpec {
+  size_t fact_rows = 1000;
+  /// Fact feature columns (named x0, x1, ...).
+  size_t fact_features = 2;
+  /// Intermediate dimensions referencing the shared one.
+  size_t branches = 2;
+  /// Distinct rows per intermediate dimension.
+  size_t branch_rows = 50;
+  /// Feature columns per intermediate dimension (distinct per-branch prefix
+  /// letters, as in `SnowflakeSpec`).
+  size_t branch_features = 2;
+  /// Distinct rows of the shared (conformed) dimension.
+  size_t shared_rows = 10;
+  /// Feature columns of the shared dimension.
+  size_t shared_features = 2;
+  /// Fraction of fact rows whose branch references resolve; the rest carry
+  /// dangling keys absent from every branch — exactly the rows an
+  /// inner-join edge drops from the target.
+  double match_fraction = 1.0;
+  uint64_t seed = 42;
+};
+
+/// A generated conformed snowflake: tables = [fact, branch0, ...,
+/// branch<B-1>, shared]. The fact references branch b on
+/// `branch_keys[b]` ("branch<b>_id"); every branch references the shared
+/// dimension on `shared_key` ("shared_id").
+struct ConformedSnowflake {
+  std::vector<Table> tables;
+  std::vector<std::string> branch_keys;
+  std::string shared_key;
+  ConformedSnowflakeSpec spec;
+};
+
+/// Generates a conformed snowflake per `spec`. Deterministic in `spec.seed`.
+ConformedSnowflake GenerateConformedSnowflake(const ConformedSnowflakeSpec& spec);
+
 /// Specification of a synthetic *union-of-stars* scenario: `shards`
 /// horizontally partitioned fact silos with a common schema (y, x0, ...),
 /// each referencing a private dimension table through its own surrogate key

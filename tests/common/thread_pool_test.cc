@@ -52,6 +52,43 @@ TEST_F(ThreadPoolTest, EmptyRangeNeverInvokes) {
   EXPECT_EQ(calls.load(), 0);
 }
 
+TEST_F(ThreadPoolTest, ZeroLengthRangeYieldsZeroChunksAndSafeReductions) {
+  // Boundary contract: `ParallelChunkCount(0, g)` is 0, NOT 1 — a caller
+  // that pre-sizes per-chunk accumulators and then indexes `partials[0]`
+  // unconditionally would read a phantom chunk. The house reduction pattern
+  // (pre-size by the count, fill inside ParallelForChunks, merge in chunk
+  // order) must degrade to "no buffers, no calls, identity result" on the
+  // zero-length ranges real pipelines produce: 0-row silo blocks, empty
+  // residual vectors, fully-restricted inner-join targets.
+  for (size_t threads : {1, 4}) {
+    SetNumThreads(threads);
+    for (size_t grain : {1, 8, 1000}) {
+      EXPECT_EQ(ParallelChunkCount(0, grain), 0u) << "grain " << grain;
+    }
+
+    // The reduction pattern over an empty value set: zero accumulators are
+    // allocated, the loop body never runs, the merged total is the
+    // identity.
+    const std::vector<double> values;  // a 0-row block's flattened cells
+    const size_t chunks = ParallelChunkCount(values.size(), 64);
+    std::vector<double> partials(chunks, 0.0);
+    EXPECT_TRUE(partials.empty());
+    std::atomic<int> calls{0};
+    ParallelForChunks(0, values.size(), 64,
+                      [&](size_t chunk, size_t begin, size_t end) {
+                        ++calls;
+                        ASSERT_LT(chunk, partials.size());
+                        for (size_t i = begin; i < end; ++i) {
+                          partials[chunk] += values[i];
+                        }
+                      });
+    EXPECT_EQ(calls.load(), 0);
+    double total = 0.0;
+    for (double partial : partials) total += partial;
+    EXPECT_EQ(total, 0.0);
+  }
+}
+
 TEST_F(ThreadPoolTest, GrainLargerThanRangeRunsOneChunk) {
   SetNumThreads(4);
   EXPECT_EQ(ParallelChunkCount(10, 100), 1u);

@@ -264,12 +264,73 @@ TEST(AmalurTest, ModelHandlePredictsAndEvaluatesRelationalData) {
   EXPECT_NEAR(report->mse, model->outcome().loss_history.back(), 0.05);
   EXPECT_DOUBLE_EQ(report->primary, report->mse);
 
-  // Missing feature columns surface as clean errors.
+  // Missing feature columns are the caller's data problem: the serving
+  // contract is kInvalidArgument, naming the training-schema column.
   rel::Table incomplete("incomplete");
   AMALUR_CHECK_OK(
       incomplete.AddColumn(rel::Column::FromDoubles("y", {1.0, 2.0})));
-  EXPECT_TRUE(model->Predict(incomplete).status().IsNotFound());
-  EXPECT_TRUE(model->Evaluate(incomplete).status().IsNotFound());
+  EXPECT_TRUE(model->Predict(incomplete).status().IsInvalidArgument());
+  EXPECT_TRUE(model->Evaluate(incomplete).status().IsInvalidArgument());
+
+  // A column with the right name but a string payload is equally invalid.
+  rel::Table mistyped("mistyped");
+  for (const std::string& name : model->feature_names()) {
+    AMALUR_CHECK_OK(mistyped.AddColumn(
+        name == model->feature_names().front()
+            ? rel::Column::FromStrings(name, {"a", "b"})
+            : rel::Column::FromDoubles(name, {1.0, 2.0})));
+  }
+  EXPECT_TRUE(model->Predict(mistyped).status().IsInvalidArgument());
+}
+
+TEST(AmalurTest, ServingAlignsShuffledHoldoutColumnsByName) {
+  // Regression: out-of-sample serving must align holdout columns to the
+  // training schema by NAME. A holdout table with the same columns in a
+  // different (here: reversed) order must score identically — positional
+  // trust would silently pair features with the wrong weights.
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kLeftJoin;
+  spec.base_rows = 100;
+  spec.other_rows = 25;
+  spec.base_features = 2;
+  spec.other_features = 3;
+  spec.seed = 92;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"a", pair.base, "", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"b", pair.other, "", false}).ok());
+  auto integration = amalur.Integrate("a", "b", rel::JoinKind::kLeftJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 60;
+  request.gd.learning_rate = 0.05;
+  auto model = amalur.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  const metadata::DiMetadata& md = integration->metadata;
+  rel::Table target = rel::Table::FromMatrix(
+      "target", md.MaterializeTargetMatrix(), md.target_schema().Names());
+  std::vector<size_t> reversed(target.NumColumns());
+  for (size_t j = 0; j < target.NumColumns(); ++j) {
+    reversed[j] = target.NumColumns() - 1 - j;
+  }
+  rel::Table shuffled = target.Project(reversed);
+
+  auto in_order = model->Predict(target);
+  auto out_of_order = model->Predict(shuffled);
+  ASSERT_TRUE(in_order.ok()) << in_order.status();
+  ASSERT_TRUE(out_of_order.ok()) << out_of_order.status();
+  EXPECT_EQ(in_order->MaxAbsDiff(*out_of_order), 0.0);
+
+  auto report_in_order = model->Evaluate(target);
+  auto report_shuffled = model->Evaluate(shuffled);
+  ASSERT_TRUE(report_in_order.ok()) << report_in_order.status();
+  ASSERT_TRUE(report_shuffled.ok()) << report_shuffled.status();
+  EXPECT_DOUBLE_EQ(report_in_order->mse, report_shuffled->mse);
 }
 
 TEST(AmalurTest, IntegrationSpecValidation) {
@@ -364,13 +425,16 @@ TEST(AmalurTest, GraphSpecValidationReportsPreciseErrors) {
       integrate_message(spec).find("source 'ghost' appears in no edge"),
       std::string::npos);
 
-  // Two parents (a DAG diamond is not a tree).
+  // Two parents of a *fact shard* (a union-edge child). A diamond over a
+  // dimension — a conformed dimension — is legal since the DAG
+  // generalization; a multi-parent fact is not.
   spec.sources.clear();
-  spec.edges = {{"a", "b", rel::JoinKind::kLeftJoin},
+  spec.edges = {{"a", "b", rel::JoinKind::kUnion},
                 {"a", "c", rel::JoinKind::kLeftJoin},
-                {"b", "c", rel::JoinKind::kLeftJoin}};
+                {"c", "b", rel::JoinKind::kLeftJoin}};
   EXPECT_NE(integrate_message(spec).find(
-                "source 'c' has several parent edges"),
+                "source 'b' is a fact shard (a union-edge child) with "
+                "several parent edges"),
             std::string::npos);
 
   // Union edges may only stack fact shards, not hang off dimensions.
@@ -379,8 +443,9 @@ TEST(AmalurTest, GraphSpecValidationReportsPreciseErrors) {
   EXPECT_NE(integrate_message(spec).find("union edges stack fact shards only"),
             std::string::npos);
 
-  // Inner/full-outer joins exist only in pairwise specs.
-  spec.edges = {{"a", "b", rel::JoinKind::kInnerJoin},
+  // Full-outer joins exist only in pairwise specs (inner joins are graph
+  // edges since the conformed-dimension generalization).
+  spec.edges = {{"a", "b", rel::JoinKind::kFullOuterJoin},
                 {"a", "c", rel::JoinKind::kLeftJoin}};
   EXPECT_NE(integrate_message(spec).find(
                 "only valid on single-edge (pairwise) specs"),

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "factorized/scenario_builder.h"
+#include "integration/schema_mapping.h"
+#include "metadata/di_metadata.h"
+#include "relational/generator.h"
+#include "relational/join.h"
 #include "federated/hfl.h"
 #include "federated/vfl.h"
 #include "ml/linear_models.h"
@@ -226,6 +232,172 @@ TEST(HflTest, WeightedAveragingRespectsPartitionSizes) {
   // The solution sits closer to the big party's weights.
   EXPECT_LT(result->weights.MaxAbsDiff(w_big),
             result->weights.MaxAbsDiff(w_small));
+}
+
+TEST(HflTest, EmptyPartitionContributesZeroWeightNotNaN) {
+  // A party with zero rows holds no evidence: it must enter the fixed-order
+  // merge with weight 0 — never poison the round with a 1/0 local average.
+  auto parties = MakeHflParties(2, 25, 3, 17);
+  HflPartition empty{la::DenseMatrix(0, 3), la::DenseMatrix(0, 1)};
+  std::vector<HflPartition> with_empty{parties[0], empty, parties[1]};
+
+  HflOptions options;
+  options.rounds = 20;
+  options.learning_rate = 0.1;
+  options.secure_aggregation = false;
+  MessageBus bus_with, bus_without;
+  auto with = TrainHorizontalFlr(with_empty, options, &bus_with);
+  auto without = TrainHorizontalFlr(parties, options, &bus_without);
+  ASSERT_TRUE(with.ok()) << with.status();
+  ASSERT_TRUE(without.ok()) << without.status();
+  for (size_t j = 0; j < with->weights.rows(); ++j) {
+    ASSERT_TRUE(std::isfinite(with->weights.At(j, 0))) << "weight " << j;
+  }
+  // Adding a weight-0 participant changes traffic, not the model.
+  EXPECT_EQ(with->weights.MaxAbsDiff(without->weights), 0.0);
+  EXPECT_EQ(with->loss_history.back(), without->loss_history.back());
+
+  // The secure-aggregation wire stays finite too (shares of a zero model).
+  options.secure_aggregation = true;
+  MessageBus bus_secure;
+  auto secure = TrainHorizontalFlr(with_empty, options, &bus_secure);
+  ASSERT_TRUE(secure.ok()) << secure.status();
+  for (size_t j = 0; j < secure->weights.rows(); ++j) {
+    ASSERT_TRUE(std::isfinite(secure->weights.At(j, 0))) << "weight " << j;
+  }
+}
+
+TEST(HflAlignmentTest, EmptyFactShardIsSkippedNotFederated) {
+  // A union-of-stars with one zero-row fact shard: the empty shard must not
+  // become a FedAvg participant (its local average is 0/0). AlignForHfl
+  // skips it and the remaining shards train to the exact model the same
+  // scenario without the empty silo produces.
+  rel::UnionOfStarsSpec spec;
+  spec.shards = 3;
+  spec.fact_rows = 40;
+  spec.fact_features = 2;
+  spec.dim_rows = 8;
+  spec.dim_features = 2;
+  spec.seed = 19;
+  rel::UnionOfStars scenario = rel::GenerateUnionOfStars(spec);
+  // Empty the middle shard's fact silo (schema intact, zero rows).
+  scenario.tables[2] = scenario.tables[2].GatherRows({});
+  ASSERT_EQ(scenario.tables[2].NumRows(), 0u);
+
+  auto metadata = factorized::DeriveUnionOfStarsMetadata(scenario);
+  ASSERT_TRUE(metadata.ok()) << metadata.status();
+  EXPECT_EQ(metadata->num_shards(), 3u);
+  EXPECT_EQ(metadata->ShardRowBegin(1), metadata->ShardRowEnd(1));
+  EXPECT_EQ(metadata->target_rows(), 2 * spec.fact_rows);
+
+  auto partitions = AlignForHfl(*metadata, 0);
+  ASSERT_TRUE(partitions.ok()) << partitions.status();
+  ASSERT_EQ(partitions->size(), 2u);  // the empty shard is not a participant
+  for (const HflPartition& partition : *partitions) {
+    EXPECT_EQ(partition.features.rows(), spec.fact_rows);
+  }
+
+  MessageBus bus;
+  HflOptions options;
+  options.rounds = 30;
+  options.learning_rate = 0.1;
+  auto result = TrainHorizontalFlr(*partitions, options, &bus);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (size_t j = 0; j < result->weights.rows(); ++j) {
+    ASSERT_TRUE(std::isfinite(result->weights.At(j, 0))) << "weight " << j;
+  }
+  EXPECT_LT(result->loss_history.back(), result->loss_history.front());
+}
+
+TEST(HflAlignmentTest, SharedDimensionServesEveryReferencingShardBlock) {
+  // Two union shards referencing ONE dimension silo: the conformed
+  // dimension's reach-set spans both shards, so AlignForHfl must assemble
+  // its contribution into BOTH partitions — each equal to the materialized
+  // target's block — from the single silo.
+  Rng rng(51);
+  const size_t shard_rows = 20, dim_rows = 5;
+  rel::Table dim("dim");
+  {
+    std::vector<int64_t> keys(dim_rows);
+    for (size_t i = 0; i < dim_rows; ++i) keys[i] = static_cast<int64_t>(i);
+    AMALUR_CHECK_OK(dim.AddColumn(rel::Column::FromInt64s("dim_id", keys)));
+    std::vector<double> u(dim_rows);
+    for (double& v : u) v = rng.NextGaussian();
+    AMALUR_CHECK_OK(dim.AddColumn(rel::Column::FromDoubles("u0", u)));
+  }
+  auto make_fact = [&](const std::string& name, size_t offset) {
+    rel::Table fact(name);
+    std::vector<int64_t> keys(shard_rows);
+    std::vector<double> y(shard_rows), x(shard_rows);
+    for (size_t i = 0; i < shard_rows; ++i) {
+      keys[i] = static_cast<int64_t>((i + offset) % dim_rows);
+      y[i] = rng.NextGaussian();
+      x[i] = rng.NextGaussian();
+    }
+    AMALUR_CHECK_OK(fact.AddColumn(rel::Column::FromInt64s("dim_id", keys)));
+    AMALUR_CHECK_OK(fact.AddColumn(rel::Column::FromDoubles("y", y)));
+    AMALUR_CHECK_OK(fact.AddColumn(rel::Column::FromDoubles("x0", x)));
+    return fact;
+  };
+  rel::Table fact0 = make_fact("fact0", 0);
+  rel::Table fact1 = make_fact("fact1", 2);
+
+  auto mapping = integration::SchemaMapping::Create(
+      rel::JoinKind::kUnion,
+      {integration::SchemaMapping::SourceSpec{
+           "fact0", fact0.schema(), {{"y", "y"}, {"x0", "x0"}}},
+       integration::SchemaMapping::SourceSpec{
+           "fact1", fact1.schema(), {{"y", "y"}, {"x0", "x0"}}},
+       integration::SchemaMapping::SourceSpec{
+           "dim", dim.schema(), {{"u0", "u0"}}}},
+      rel::Schema::AllDouble({"y", "x0", "u0"}),
+      {{0, "dim_id", 2, "dim_id"}, {1, "dim_id", 2, "dim_id"}});
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  auto m0 = rel::MatchRowsOnKeys(fact0, dim, {"dim_id"}, {"dim_id"});
+  auto m1 = rel::MatchRowsOnKeys(fact1, dim, {"dim_id"}, {"dim_id"});
+  ASSERT_TRUE(m0.ok() && m1.ok());
+  auto metadata = metadata::DiMetadata::DeriveGraph(
+      *mapping, {&fact0, &fact1, &dim},
+      {{0, 1, rel::JoinKind::kUnion},
+       {0, 2, rel::JoinKind::kLeftJoin},
+       {1, 2, rel::JoinKind::kLeftJoin}},
+      {{}, *m0, *m1});
+  ASSERT_TRUE(metadata.ok()) << metadata.status();
+  ASSERT_EQ(metadata->num_shared_dimensions(), 1u);
+  ASSERT_EQ(metadata->shards_reaching(2).size(), 2u);
+
+  auto partitions = AlignForHfl(*metadata, 0);
+  ASSERT_TRUE(partitions.ok()) << partitions.status();
+  ASSERT_EQ(partitions->size(), 2u);
+  // Each partition is exactly its block of the materialized target — the
+  // shared dimension's u0 column filled in BOTH.
+  const la::DenseMatrix target = metadata->MaterializeTargetMatrix();
+  const size_t u0_col = 2;  // target schema: y, x0, u0
+  for (size_t s = 0; s < 2; ++s) {
+    const HflPartition& partition = (*partitions)[s];
+    ASSERT_EQ(partition.features.rows(), shard_rows);
+    ASSERT_EQ(partition.features.cols(), 2u);  // x0, u0
+    bool any_dim_value = false;
+    for (size_t i = 0; i < shard_rows; ++i) {
+      EXPECT_EQ(partition.labels.At(i, 0), target.At(s * shard_rows + i, 0));
+      EXPECT_EQ(partition.features.At(i, 0),
+                target.At(s * shard_rows + i, 1));
+      EXPECT_EQ(partition.features.At(i, 1),
+                target.At(s * shard_rows + i, u0_col));
+      any_dim_value |= partition.features.At(i, 1) != 0.0;
+    }
+    EXPECT_TRUE(any_dim_value) << "shard " << s
+                               << " never received the shared dimension";
+  }
+
+  // And the partitions train like any horizontal federation.
+  MessageBus bus;
+  HflOptions options;
+  options.rounds = 20;
+  options.learning_rate = 0.1;
+  auto result = TrainHorizontalFlr(*partitions, options, &bus);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->loss_history.back(), result->loss_history.front());
 }
 
 TEST(HflTest, InputValidation) {

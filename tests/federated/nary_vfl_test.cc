@@ -230,6 +230,77 @@ TEST(NaryVflTest, AlignmentAssignsEachSnowflakeSiloItsComposedBlock) {
   EXPECT_LT(scattered.MaxAbsDiff(central), 1e-10);
 }
 
+TEST(NaryVflTest, ConformedDimensionSiloOwnsItsColumnsOnce) {
+  // A conformed dimension enters the vertical protocol as ONE party: its
+  // masked block is reached through several parents' composed indicator
+  // chains, yet it still owns its feature columns exclusively — and the
+  // federated model equals centralized GD on the materialized DAG.
+  rel::ConformedSnowflakeSpec spec;
+  spec.fact_rows = 120;
+  spec.fact_features = 2;
+  spec.branches = 2;
+  spec.branch_rows = 24;
+  spec.branch_features = 2;
+  spec.shared_rows = 6;
+  spec.shared_features = 2;
+  spec.seed = 61;
+  rel::ConformedSnowflake scenario = rel::GenerateConformedSnowflake(spec);
+  auto metadata = factorized::DeriveConformedSnowflakeMetadata(scenario);
+  ASSERT_TRUE(metadata.ok()) << metadata.status();
+  ASSERT_EQ(metadata->num_shared_dimensions(), 1u);
+
+  auto alignment = AlignForVflNary(*metadata, 0);
+  ASSERT_TRUE(alignment.ok()) << alignment.status();
+  ASSERT_EQ(alignment->parties.size(), 4u);  // the shared silo joins ONCE
+  std::vector<bool> owned(metadata->target_cols(), false);
+  owned[0] = true;  // the label
+  for (const VflParty& party : alignment->parties) {
+    EXPECT_EQ(party.x.rows(), metadata->target_rows());
+    for (size_t c : party.columns) {
+      EXPECT_FALSE(owned[c]) << "column " << c << " claimed twice";
+      owned[c] = true;
+    }
+  }
+  for (size_t c = 0; c < owned.size(); ++c) {
+    EXPECT_TRUE(owned[c]) << "column " << c << " unclaimed";
+  }
+  // The conformed silo's block is its merged-indicator contribution: it
+  // reassembles the materialized target's shared columns exactly.
+  const la::DenseMatrix target = metadata->MaterializeTargetMatrix();
+  const VflParty& shared_party = alignment->parties[3];
+  ASSERT_EQ(shared_party.columns.size(), spec.shared_features);
+  for (size_t j = 0; j < shared_party.columns.size(); ++j) {
+    for (size_t i = 0; i < shared_party.x.rows(); ++i) {
+      ASSERT_EQ(shared_party.x.At(i, j),
+                target.At(i, shared_party.columns[j]));
+    }
+  }
+
+  MessageBus bus;
+  VflOptions options;
+  options.iterations = 40;
+  options.learning_rate = 0.05;
+  auto fed =
+      TrainVerticalFlrNary(alignment->parties, alignment->labels, options, &bus);
+  ASSERT_TRUE(fed.ok()) << fed.status();
+  std::vector<size_t> feature_cols;
+  for (size_t j = 1; j < target.cols(); ++j) feature_cols.push_back(j);
+  ml::MaterializedMatrix features(target.SelectColumns(feature_cols));
+  ml::GradientDescentOptions gd;
+  gd.iterations = 40;
+  gd.learning_rate = 0.05;
+  la::DenseMatrix central =
+      ml::TrainLinearRegression(features, alignment->labels, gd).weights;
+  la::DenseMatrix scattered(central.rows(), 1);
+  for (size_t k = 0; k < alignment->parties.size(); ++k) {
+    const VflParty& party = alignment->parties[k];
+    for (size_t j = 0; j < party.columns.size(); ++j) {
+      scattered.At(party.columns[j] - 1, 0) = fed->thetas[k].At(j, 0);
+    }
+  }
+  EXPECT_LT(scattered.MaxAbsDiff(central), 1e-10);
+}
+
 TEST(NaryVflTest, AlignmentRejectsPartialCoverage) {
   rel::SiloPairSpec spec;
   spec.kind = rel::JoinKind::kLeftJoin;

@@ -4,6 +4,7 @@
 #include "federated/message_bus.h"
 #include "federated/paillier.h"
 #include "federated/secret_sharing.h"
+#include "federated/vfl.h"
 
 namespace amalur {
 namespace federated {
@@ -78,6 +79,58 @@ TEST(MessageBusTest, CiphertextPayloadsMeteredAtSerializedSize) {
   la::DenseMatrix decrypted =
       paillier.DecryptMatrix(UnpackCiphertexts(*words), 4, 1);
   EXPECT_LT(decrypted.MaxAbsDiff(values), 1e-3);
+}
+
+TEST(MessageBusTest, NaryPaillierRingMetersEachCiphertextHopExactlyOnce) {
+  // Audit pin for the N=3 Paillier ring's byte accounting. Every ciphertext
+  // hop is metered exactly once, at the 16-byte serialized rate:
+  //
+  //   per iteration, n rows, party widths p_k (P = Σ p_k):
+  //    * ring accumulation  : N-1 messages of n ciphertexts,
+  //    * residual broadcast : N-1 messages of n ciphertexts,
+  //    * masked decryption  : per party, ONE ciphertext message to the
+  //      coordinator (p_k ciphertexts) and ONE dense reply (p_k doubles) —
+  //      the coordinator's decryption is a round-trip, never a re-metered
+  //      copy of the inbound payload (the double-count this test pins out),
+  //    * every message adds the 32-byte envelope.
+  //
+  // Any change to the protocol's message pattern or metering rate moves
+  // this exact total and must be justified.
+  Rng rng(21);
+  const size_t n_rows = 4;
+  const std::vector<size_t> widths{2, 1, 2};
+  std::vector<VflParty> parties(widths.size());
+  for (size_t k = 0; k < widths.size(); ++k) {
+    parties[k].x = la::DenseMatrix::RandomGaussian(n_rows, widths[k], &rng);
+  }
+  la::DenseMatrix labels = la::DenseMatrix::RandomGaussian(n_rows, 1, &rng);
+
+  VflOptions options;
+  options.iterations = 3;
+  options.privacy = VflPrivacy::kPaillier;
+  MessageBus bus;
+  auto result = TrainVerticalFlrNary(parties, labels, options, &bus);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const size_t parties_n = widths.size();                    // N = 3
+  const size_t total_width = 2 + 1 + 2;                      // P = 5
+  const size_t ring_ciphertexts = (parties_n - 1) * n_rows;  // 8
+  const size_t broadcast_ciphertexts = (parties_n - 1) * n_rows;  // 8
+  const size_t gradient_ciphertexts = total_width;                // 5
+  const size_t messages_per_iteration =
+      (parties_n - 1) + (parties_n - 1) + parties_n + parties_n;  // 10
+  const size_t envelope = 32;
+  const size_t bytes_per_iteration =
+      (ring_ciphertexts + broadcast_ciphertexts + gradient_ciphertexts) *
+          MessageBus::kCiphertextWireBytes +
+      total_width * sizeof(double) +  // the coordinator's dense replies
+      messages_per_iteration * envelope;
+  EXPECT_EQ(bytes_per_iteration, 21 * 16 + 40 + 320);  // 696 for this shape
+
+  EXPECT_EQ(result->messages, options.iterations * messages_per_iteration);
+  EXPECT_EQ(result->bytes_transferred,
+            options.iterations * bytes_per_iteration);
+  EXPECT_EQ(result->bytes_transferred, 3u * 696u);
 }
 
 TEST(SecretSharingTest, RoundTripExactForFixedPointValues) {

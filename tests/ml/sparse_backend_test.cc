@@ -72,9 +72,10 @@ TEST(SparseBackendTest, TrainingMatchesDenseBackendOnNullPaddedTarget) {
 }
 
 TEST(SparseBackendTest, GraphScenariosAgreeAcrossAllThreeBackends) {
-  // Snowflake and union-of-stars metadata trained under all three training
-  // backends — factorized pushdown, dense materialized, CSR materialized —
-  // must produce the same model as the dense baseline.
+  // Snowflake, union-of-stars and conformed-snowflake metadata trained
+  // under all three training backends — factorized pushdown, dense
+  // materialized, CSR materialized — must produce the same model as the
+  // dense baseline.
   auto snowflake = [] {
     rel::SnowflakeSpec spec;
     spec.fact_rows = 90;
@@ -93,10 +94,21 @@ TEST(SparseBackendTest, GraphScenariosAgreeAcrossAllThreeBackends) {
     return factorized::DeriveUnionOfStarsMetadata(
         rel::GenerateUnionOfStars(spec));
   }();
+  auto conformed = [] {
+    rel::ConformedSnowflakeSpec spec;
+    spec.fact_rows = 80;
+    spec.branches = 2;
+    spec.branch_rows = 16;
+    spec.shared_rows = 4;
+    spec.seed = 25;
+    return factorized::DeriveConformedSnowflakeMetadata(
+        rel::GenerateConformedSnowflake(spec));
+  }();
   ASSERT_TRUE(snowflake.ok()) << snowflake.status();
   ASSERT_TRUE(union_of_stars.ok()) << union_of_stars.status();
+  ASSERT_TRUE(conformed.ok()) << conformed.status();
 
-  for (auto* metadata : {&*snowflake, &*union_of_stars}) {
+  for (auto* metadata : {&*snowflake, &*union_of_stars, &*conformed}) {
     // Label is target column 0 ("y") in both scenario builders.
     la::DenseMatrix target = metadata->MaterializeTargetMatrix();
     std::vector<size_t> feature_cols;

@@ -501,6 +501,158 @@ TEST(SystemTest, SnowflakeEdgeListEndToEnd) {
   EXPECT_LT(fact_scores->MaxAbsDiff(*mat_scores), 1e-6);
 }
 
+TEST(SystemTest, ConformedDimensionEdgeListEndToEnd) {
+  // Acceptance scenario: a DAG — one shared ("conformed") dimension
+  // referenced through two intermediate dimensions — integrated through an
+  // edge-list spec. Automatic key discovery runs per edge (the shared
+  // dimension is matched against BOTH parents), the shared columns appear
+  // exactly once in the target schema, and training matches a materialized
+  // run at 1e-8 under both forced strategies.
+  rel::ConformedSnowflakeSpec conformed_spec;
+  conformed_spec.fact_rows = 400;
+  conformed_spec.fact_features = 2;
+  conformed_spec.branches = 2;
+  conformed_spec.branch_rows = 40;
+  conformed_spec.branch_features = 2;
+  conformed_spec.shared_rows = 8;
+  conformed_spec.shared_features = 2;
+  conformed_spec.seed = 43;
+  rel::ConformedSnowflake scenario =
+      rel::GenerateConformedSnowflake(conformed_spec);
+
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  core::Amalur system(options);
+  for (const rel::Table& table : scenario.tables) {
+    ASSERT_TRUE(
+        system.catalog()->RegisterSource({table.name(), table, "", false}).ok());
+  }
+
+  core::IntegrationSpec spec;
+  spec.name = "sales-conformed";
+  spec.edges = {{"fact", "branch0", rel::JoinKind::kLeftJoin},
+                {"fact", "branch1", rel::JoinKind::kLeftJoin},
+                {"branch0", "shared", rel::JoinKind::kLeftJoin},
+                {"branch1", "shared", rel::JoinKind::kLeftJoin}};
+  auto integration = system.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  EXPECT_EQ(integration->shape,
+            metadata::IntegrationShape::kConformedSnowflake);
+  EXPECT_EQ(integration->metadata.num_shared_dimensions(), 1u);
+  // The shared dimension is visited once, after its last parent.
+  EXPECT_EQ(integration->source_names,
+            (std::vector<std::string>{"fact", "branch0", "branch1", "shared"}));
+  // Keys stay out of the feature space; the shared dimension's features
+  // appear exactly once.
+  EXPECT_EQ(integration->metadata.target_schema().Names(),
+            (std::vector<std::string>{"y", "x0", "x1", "u0", "u1", "v0", "v1",
+                                      "w0", "w1"}));
+  // The automatic pipeline reproduces the hand-built DAG derivation.
+  auto reference = factorized::DeriveConformedSnowflakeMetadata(scenario);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_TRUE(integration->metadata.MaterializeTargetMatrix().ApproxEquals(
+      reference->MaterializeTargetMatrix()));
+
+  core::TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 50;
+  request.gd.learning_rate = 0.05;
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto fact = system.Train(*integration, request, "conformed-fact");
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto mat = system.Train(*integration, request, "conformed-mat");
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_LT(fact->weights().MaxAbsDiff(mat->weights()), 1e-8);
+  EXPECT_LT(fact->outcome().loss_history.back(),
+            fact->outcome().loss_history.front());
+
+  // Explain names the conformed shape and the shared-dimension count.
+  EXPECT_NE(system.Explain(*integration)
+                .explanation.find(
+                    "graph shape: conformed-snowflake (1 shared dimension)"),
+            std::string::npos)
+      << system.Explain(*integration).explanation;
+
+  // In-sample factorized serving agrees with the dense fallback.
+  auto fact_scores = fact->Predict();
+  auto mat_scores = mat->Predict();
+  ASSERT_TRUE(fact_scores.ok()) << fact_scores.status();
+  ASSERT_TRUE(mat_scores.ok()) << mat_scores.status();
+  EXPECT_LT(fact_scores->MaxAbsDiff(*mat_scores), 1e-6);
+
+  // Per-edge artifacts cover BOTH parents of the shared dimension.
+  EXPECT_TRUE(system.catalog()->GetRowMatching("branch0", "shared").ok());
+  EXPECT_TRUE(system.catalog()->GetRowMatching("branch1", "shared").ok());
+}
+
+TEST(SystemTest, InnerJoinEdgeEndToEnd) {
+  // An inner-join edge inside a graph restricts the target to rows where
+  // the dimension matched — the row set the relational inner join
+  // materializes — and the restricted scenario still trains identically
+  // under both strategies.
+  rel::ConformedSnowflakeSpec conformed_spec;
+  conformed_spec.fact_rows = 300;
+  conformed_spec.fact_features = 2;
+  conformed_spec.branches = 2;
+  conformed_spec.branch_rows = 30;
+  conformed_spec.branch_features = 2;
+  conformed_spec.shared_rows = 6;
+  conformed_spec.shared_features = 1;
+  conformed_spec.match_fraction = 0.8;  // 60 rows carry dangling references
+  conformed_spec.seed = 47;
+  rel::ConformedSnowflake scenario =
+      rel::GenerateConformedSnowflake(conformed_spec);
+
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  core::Amalur system(options);
+  for (const rel::Table& table : scenario.tables) {
+    ASSERT_TRUE(
+        system.catalog()->RegisterSource({table.name(), table, "", false}).ok());
+  }
+
+  core::IntegrationSpec spec;
+  spec.edges = {{"fact", "branch0", rel::JoinKind::kInnerJoin},
+                {"fact", "branch1", rel::JoinKind::kLeftJoin},
+                {"branch0", "shared", rel::JoinKind::kLeftJoin},
+                {"branch1", "shared", rel::JoinKind::kLeftJoin}};
+  auto integration = system.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  // The inner edge drops exactly the relational inner join's complement.
+  auto joined = rel::HashJoin(scenario.tables[0], scenario.tables[1],
+                              {"branch0_id"}, {"branch0_id"},
+                              rel::JoinKind::kInnerJoin);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  EXPECT_EQ(integration->metadata.target_rows(), joined->table.NumRows());
+  EXPECT_EQ(integration->metadata.target_rows(), 240u);
+
+  core::TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 40;
+  request.gd.learning_rate = 0.05;
+  request.force_strategy = core::ExecutionStrategy::kFactorize;
+  auto fact = system.Train(*integration, request);
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
+  auto mat = system.Train(*integration, request);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_LT(fact->weights().MaxAbsDiff(mat->weights()), 1e-8);
+
+  // Regression: a DEPTH-1 graph with an inner edge keeps the star shape
+  // but must not take the left-join-only star fast path — the inner
+  // restriction applies there too.
+  core::IntegrationSpec star_spec;
+  star_spec.edges = {{"fact", "branch0", rel::JoinKind::kInnerJoin},
+                     {"fact", "branch1", rel::JoinKind::kLeftJoin}};
+  auto star_integration = system.Integrate(star_spec);
+  ASSERT_TRUE(star_integration.ok()) << star_integration.status();
+  EXPECT_EQ(star_integration->shape, metadata::IntegrationShape::kStar);
+  EXPECT_EQ(star_integration->metadata.target_rows(), 240u);
+}
+
 TEST(SystemTest, UnionOfStarsEdgeListEndToEnd) {
   // Acceptance scenario: two horizontally partitioned fact shards, each
   // with a private dimension, stacked through a union edge — Table I's
@@ -703,6 +855,69 @@ TEST(SystemTest, PrivacyConstrainedSnowflakeFederatesComposedSilos) {
 
   auto open_integration = open.Integrate(spec);
   ASSERT_TRUE(open_integration.ok()) << open_integration.status();
+  auto central = open.Train(*open_integration, request);
+  ASSERT_TRUE(central.ok()) << central.status();
+  EXPECT_LT(model->weights().MaxAbsDiff(central->weights()), 1e-8);
+}
+
+TEST(SystemTest, PrivacyConstrainedConformedDimensionFederates) {
+  // A privacy-constrained conformed snowflake: the shared dimension's silo
+  // joins the vertical protocol ONCE — one masked contribution block,
+  // reached through several parents' composed indicator chains — and still
+  // owns its feature columns exclusively. N-ary VFL equals centralized
+  // training on the materialized DAG.
+  rel::ConformedSnowflakeSpec conformed_spec;
+  conformed_spec.fact_rows = 240;
+  conformed_spec.fact_features = 2;
+  conformed_spec.branches = 2;
+  conformed_spec.branch_rows = 24;
+  conformed_spec.branch_features = 2;
+  conformed_spec.shared_rows = 6;
+  conformed_spec.shared_features = 2;
+  conformed_spec.seed = 53;
+  rel::ConformedSnowflake scenario =
+      rel::GenerateConformedSnowflake(conformed_spec);
+
+  core::AmalurOptions options;
+  options.matcher.threshold = 0.75;
+  core::Amalur constrained(options);
+  core::Amalur open(options);
+  for (const rel::Table& table : scenario.tables) {
+    ASSERT_TRUE(constrained.catalog()
+                    ->RegisterSource({table.name(), table, "silo", true})
+                    .ok());
+    ASSERT_TRUE(
+        open.catalog()->RegisterSource({table.name(), table, "", false}).ok());
+  }
+  core::IntegrationSpec spec;
+  spec.edges = {{"fact", "branch0", rel::JoinKind::kLeftJoin},
+                {"fact", "branch1", rel::JoinKind::kLeftJoin},
+                {"branch0", "shared", rel::JoinKind::kLeftJoin},
+                {"branch1", "shared", rel::JoinKind::kLeftJoin}};
+  auto integration = constrained.Integrate(spec);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+  EXPECT_EQ(integration->shape,
+            metadata::IntegrationShape::kConformedSnowflake);
+  EXPECT_TRUE(integration->privacy_constrained);
+  const core::Plan plan = constrained.Explain(*integration);
+  EXPECT_NE(plan.explanation.find("conformed-snowflake"), std::string::npos)
+      << plan.explanation;
+  EXPECT_NE(plan.explanation.find("vertical n-ary FLR over 4 silos"),
+            std::string::npos)
+      << plan.explanation;
+
+  core::TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 40;
+  request.gd.learning_rate = 0.05;
+  auto model = constrained.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->outcome().strategy_used, core::ExecutionStrategy::kFederate);
+  EXPECT_EQ(model->outcome().federated_silos, 4u);  // shared silo counted once
+
+  auto open_integration = open.Integrate(spec);
+  ASSERT_TRUE(open_integration.ok()) << open_integration.status();
+  request.force_strategy = core::ExecutionStrategy::kMaterialize;
   auto central = open.Train(*open_integration, request);
   ASSERT_TRUE(central.ok()) << central.status();
   EXPECT_LT(model->weights().MaxAbsDiff(central->weights()), 1e-8);
