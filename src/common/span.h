@@ -1,0 +1,53 @@
+#ifndef AMALUR_COMMON_SPAN_H_
+#define AMALUR_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+/// \file span.h
+/// A minimal read-only `std::span` stand-in (the project is C++17). Serving
+/// batch APIs take `Span<RowRef>` so callers can pass a vector, an array, or
+/// a sub-range of either without copying. Non-owning: the caller guarantees
+/// the underlying storage outlives the span.
+
+namespace amalur {
+namespace common {
+
+/// Non-owning constant view over a contiguous array of `T`.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit from a vector — the common call shape.
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    AMALUR_CHECK_LT(i, size_) << "span index";
+    return data_[i];
+  }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  /// The sub-view [offset, offset + count); clamped to the span's end.
+  Span<T> subspan(size_t offset, size_t count) const {
+    AMALUR_CHECK_LE(offset, size_) << "span offset";
+    const size_t n = count < size_ - offset ? count : size_ - offset;
+    return Span<T>(data_ + offset, n);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace common
+}  // namespace amalur
+
+#endif  // AMALUR_COMMON_SPAN_H_

@@ -767,6 +767,11 @@ Result<size_t> ResolveServingColumn(const rel::Table& data,
 }  // namespace
 
 Result<la::DenseMatrix> ModelHandle::Predict(const rel::Table& data) const {
+  // A zero-row holdout table is well-formed input (e.g. an empty shard or a
+  // filter that matched nothing): the contract is an empty 0 x 1 score
+  // matrix, guaranteed here regardless of backend behavior. Schema
+  // validation still applies below — a zero-row table with a *wrong* schema
+  // stays kInvalidArgument.
   std::vector<size_t> indices;
   indices.reserve(feature_names_.size());
   for (const std::string& name : feature_names_) {
@@ -828,6 +833,14 @@ EvaluationReport ModelHandle::Score(const la::DenseMatrix& predictions,
 }
 
 Result<EvaluationReport> ModelHandle::Evaluate(const rel::Table& data) const {
+  if (data.NumRows() == 0) {
+    // Sharp edge: the metrics all define the empty average as 0.0, so a
+    // zero-row holdout would yield an ok report with mse = 0 — an all-zero
+    // report that impersonates a perfect model. Fail loudly instead.
+    return Status::InvalidArgument(
+        "cannot evaluate over the zero-row table '", data.name(),
+        "': every metric would degenerate to 0 and read as a perfect score");
+  }
   AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix predictions, Predict(data));
   AMALUR_ASSIGN_OR_RETURN(size_t label_index,
                           ResolveServingColumn(data, label_column_, "label"));

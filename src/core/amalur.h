@@ -60,6 +60,16 @@
 /// catalog itself is destroyed.
 
 namespace amalur {
+
+// The serving tier (src/serving/) sits above core: core only hands trained
+// handles over to it, so the declarations stay forward-only here and
+// `ModelHandle::Deploy` is defined next to the registry.
+namespace serving {
+class DeployedModel;
+struct DeployOptions;
+class ModelRegistry;
+}  // namespace serving
+
 namespace core {
 
 /// Configuration of the system's components.
@@ -163,7 +173,8 @@ class ModelHandle {
   /// training schema *by name* — positional order never matters, so a
   /// shuffled holdout table scores identically. Every feature column must
   /// be present in `data` and numeric; a missing or string-typed column is
-  /// `kInvalidArgument`. The label column is not required.
+  /// `kInvalidArgument`. The label column is not required. A zero-row table
+  /// with the right schema scores to an empty 0 x 1 matrix.
   Result<la::DenseMatrix> Predict(const rel::Table& data) const;
 
   /// Scores the integration's own target rows (in-sample serving, rT x 1)
@@ -175,12 +186,38 @@ class ModelHandle {
 
   /// Predicts over `data` and scores against its label column (which must
   /// be present under `label_column()` and numeric — same by-name alignment
-  /// and `kInvalidArgument` contract as `Predict`).
+  /// and `kInvalidArgument` contract as `Predict`). A zero-row table is
+  /// `kInvalidArgument` too: every metric's empty average is 0.0, so the
+  /// resulting report would impersonate a perfect model.
   Result<EvaluationReport> Evaluate(const rel::Table& data) const;
 
   /// In-sample evaluation against the target's label column, routed through
   /// the factorized runtime exactly like the no-argument `Predict()`.
   Result<EvaluationReport> Evaluate() const;
+
+  /// Deploys this model into the serving tier: builds an immutable
+  /// `serving::DeployedModel` snapshot (weights, schema, factorized view,
+  /// partial-score cache) and publishes it in `registry` under `name`
+  /// (empty = the model's catalog name). Same error contract as
+  /// `ModelRegistry::Deploy`. Defined with the registry in src/serving/.
+  Result<std::shared_ptr<const serving::DeployedModel>> Deploy(
+      serving::ModelRegistry* registry, const std::string& name = "") const;
+  Result<std::shared_ptr<const serving::DeployedModel>> Deploy(
+      serving::ModelRegistry* registry, const std::string& name,
+      const serving::DeployOptions& options) const;
+
+  /// Deploy-time snapshot state, read by the serving tier: the factorized
+  /// view training ran over (factorized plans) or the derived-metadata copy
+  /// (other plans) — `Train` sets exactly one — plus the label's
+  /// target-schema position.
+  const std::shared_ptr<const factorized::FactorizedTable>& factorized_table()
+      const {
+    return factorized_table_;
+  }
+  const std::shared_ptr<const metadata::DiMetadata>& metadata() const {
+    return metadata_;
+  }
+  size_t label_index() const { return label_index_; }
 
  private:
   friend class Amalur;

@@ -2,6 +2,7 @@
 #define AMALUR_CORE_CATALOG_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -27,10 +28,24 @@
 /// Lifetime rules for catalog lookups: `GetSource` / `GetIntegration` /
 /// `GetModel` return pointers into the catalog's own storage (node-stable
 /// maps). A returned pointer stays valid until the catalog is destroyed —
-/// registering further entries does not move existing ones — but callers
-/// that need a value to outlive the catalog must copy it. `IntegrationHandle`
-/// is designed for exactly that: it is self-contained (it owns the derived
-/// metadata), so a copied handle survives any catalog mutation.
+/// registering further entries does not move existing ones, and the catalog
+/// never erases — but callers that need a value to outlive the catalog must
+/// copy it. `IntegrationHandle` is designed for exactly that: it is
+/// self-contained (it owns the derived metadata), so a copied handle
+/// survives any catalog mutation.
+///
+/// Thread safety: every method takes the catalog's reader/writer lock
+/// (shared for lookups, exclusive for mutation), so concurrent lookups —
+/// e.g. serving-tier deploys resolving models while an orchestrator
+/// registers new sources — are safe. The lock covers the *map structure*;
+/// a returned pointer is lock-free to read because registered entries
+/// (sources, integrations, models) are immutable once inserted — the
+/// `kAlreadyExists` semantics forbid overwrites and nothing erases. The one
+/// exception: the per-pair caches behind `StoreColumnMatches` /
+/// `StoreRowMatching` MAY be overwritten by re-integrating the same source
+/// pair, so pointers from their getters are only stable while no
+/// integration over that pair runs. Serving never relies on any of this —
+/// a `serving::DeployedModel` copies everything it needs at deploy time.
 
 namespace amalur {
 namespace core {
@@ -101,7 +116,9 @@ struct ModelEntry {
   std::string strategy;
 };
 
-/// The catalog. Not thread-safe (single-orchestrator usage).
+/// The catalog. Thread-safe per the reader/writer rules above; holding the
+/// lock makes it non-copyable (nothing copies catalogs — handles are the
+/// copyable currency).
 class Catalog {
  public:
   /// Registers a source; the name must be unique (`kAlreadyExists` otherwise).
@@ -138,6 +155,8 @@ class Catalog {
  private:
   using PairKey = std::pair<std::string, std::string>;
 
+  /// Guards the maps below (shared: lookups; exclusive: registration).
+  mutable std::shared_mutex mu_;
   std::map<std::string, SourceEntry> sources_;
   std::map<std::string, IntegrationHandle> integrations_;
   std::map<PairKey, std::vector<integration::ColumnMatch>> column_matches_;

@@ -294,6 +294,74 @@ la::DenseMatrix FactorizedTable::RowSquaredNorms() const {
   return out;
 }
 
+PartialScores FactorizedTable::ExtractPartialScores(
+    const la::DenseMatrix& target_weights) const {
+  AMALUR_CHECK(target_weights.rows() == cols() && target_weights.cols() == 1)
+      << "partial scores: weights must be cT x 1";
+  PartialScores out;
+  out.metadata_ = &metadata_;
+  out.by_set_.resize(metadata_.num_sources());
+  for (size_t k = 0; k < metadata_.num_sources(); ++k) {
+    const metadata::SourceMetadata& source = metadata_.source(k);
+    const la::DenseMatrix& dk = source.data;
+
+    // Mapped (D_k column, target column) pairs in D_k order — the same
+    // construction (and therefore the same accumulation order) as
+    // BuildPlans, which is what makes ScoreRow bitwise-equal to the LMM.
+    std::vector<size_t> all_dk_cols;
+    std::vector<size_t> all_t_cols;
+    for (size_t c = 0; c < source.mapping.target_cols(); ++c) {
+      const int64_t j = source.mapping.At(c);
+      if (j >= 0) {
+        all_dk_cols.push_back(static_cast<size_t>(j));
+        all_t_cols.push_back(c);
+      }
+    }
+
+    // One partial vector per masked-column set (index 0 = the all-ones
+    // "nothing redundant" rows), covering every D_k row. The interned set
+    // family is small, so an unreferenced (set, row) combination costs
+    // little and keeps lookups branch-free.
+    const std::vector<std::vector<size_t>>& sets =
+        source.redundancy.column_sets();
+    out.by_set_[k].resize(sets.size() + 1);
+    for (size_t si = 0; si <= sets.size(); ++si) {
+      std::vector<size_t> dk_cols;
+      std::vector<size_t> t_cols;
+      if (si == 0) {
+        dk_cols = all_dk_cols;
+        t_cols = all_t_cols;
+      } else {
+        const std::vector<size_t>& masked = sets[si - 1];
+        for (size_t p = 0; p < all_dk_cols.size(); ++p) {
+          if (!std::binary_search(masked.begin(), masked.end(),
+                                  all_t_cols[p])) {
+            dk_cols.push_back(all_dk_cols[p]);
+            t_cols.push_back(all_t_cols[p]);
+          }
+        }
+      }
+      std::vector<double>& partial = out.by_set_[k][si];
+      partial.assign(dk.rows(), 0.0);
+      out.cached_values_ += dk.rows();
+      common::ParallelFor(
+          0, dk.rows(), kUniqueGrain, [&](size_t r_begin, size_t r_end) {
+            for (size_t r = r_begin; r < r_end; ++r) {
+              const double* d_row = dk.RowPtr(r);
+              double acc = 0.0;
+              for (size_t p = 0; p < dk_cols.size(); ++p) {
+                const double v = d_row[dk_cols[p]];
+                if (v == 0.0) continue;
+                acc += v * target_weights.At(t_cols[p], 0);
+              }
+              partial[r] = acc;
+            }
+          });
+    }
+  }
+  return out;
+}
+
 MorpheusReference::MorpheusReference(metadata::DiMetadata metadata)
     : table_(std::move(metadata)) {
   table_.BuildPlans(/*ignore_redundancy=*/true);

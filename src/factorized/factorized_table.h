@@ -22,6 +22,65 @@
 namespace amalur {
 namespace factorized {
 
+/// Per-source partial scores of one fixed weight vector w (cT × 1),
+/// extracted once from the factorized view by
+/// `FactorizedTable::ExtractPartialScores`. For source k and masked-column
+/// set s (−1 = all-ones row), every D_k row j gets
+///
+///     partial_k[s][j] = Σ_{allowed (d, c) pairs of s} D_k[j, d] · w[c]
+///
+/// so scoring target row i degenerates to a lookup-and-add over the
+/// compressed indicators — no dimension block is ever re-multiplied:
+///
+///     score(i) = Σ_k partial_k[ row_set_k(i) ][ CI_k(i) ]   (skip CI < 0)
+///
+/// Each row adds exactly one partial per contributing source, sources
+/// ascending, and the partials are accumulated in the same column order
+/// (with the same exact-zero skip) as `LeftMultiply`'s per-unique-row
+/// kernel — `ScoreRow(i)` is therefore bitwise-equal to
+/// `LeftMultiply(w).At(i, 0)`. This is the serving tier's deploy-time
+/// cache: built once per deployed weight vector, shared read-only by every
+/// concurrent scoring thread.
+///
+/// Non-owning: holds a pointer into the extracting table's metadata, so the
+/// `FactorizedTable` must outlive the `PartialScores` (the serving snapshot
+/// keeps both behind one shared_ptr).
+class PartialScores {
+ public:
+  PartialScores() = default;
+
+  /// Target rows scorable (rT).
+  size_t rows() const {
+    return metadata_ == nullptr ? 0 : metadata_->target_rows();
+  }
+
+  /// Number of cached partial values across all sources and sets.
+  size_t cached_values() const { return cached_values_; }
+
+  /// score(i) as above. When `lookups` is non-null it is incremented once
+  /// per contributing source (indicator hit) — the serving cache-hit stat.
+  double ScoreRow(size_t i, size_t* lookups = nullptr) const {
+    double score = 0.0;
+    for (size_t k = 0; k < by_set_.size(); ++k) {
+      const metadata::SourceMetadata& source = metadata_->source(k);
+      const int64_t j = source.indicator.At(i);
+      if (j < 0) continue;
+      const int32_t set = source.redundancy.row_set(i);
+      score += by_set_[k][static_cast<size_t>(set + 1)][static_cast<size_t>(j)];
+      if (lookups != nullptr) ++*lookups;
+    }
+    return score;
+  }
+
+ private:
+  friend class FactorizedTable;
+
+  const metadata::DiMetadata* metadata_ = nullptr;
+  /// [source][set id + 1][D_k row]; index 0 holds the all-ones (−1) set.
+  std::vector<std::vector<std::vector<double>>> by_set_;
+  size_t cached_values_ = 0;
+};
+
 /// A linear-algebra view over an integration scenario's target table.
 class FactorizedTable {
  public:
@@ -54,6 +113,11 @@ class FactorizedTable {
 
   /// The dense target (tests / the materialized execution path).
   la::DenseMatrix Materialize() const { return metadata_.MaterializeTargetMatrix(); }
+
+  /// Extracts the per-source partial scores of `target_weights` (cT × 1) —
+  /// the serving tier's deploy-time computation (see `PartialScores`). The
+  /// result points into this table's metadata and must not outlive it.
+  PartialScores ExtractPartialScores(const la::DenseMatrix& target_weights) const;
 
   /// Reference (unrewritten) operators on an already-materialized T, used by
   /// equivalence tests and the materialized training path.

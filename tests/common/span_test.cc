@@ -1,0 +1,63 @@
+#include "common/span.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace amalur {
+namespace common {
+namespace {
+
+TEST(SpanTest, DefaultIsEmpty) {
+  Span<int> span;
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(span.size(), 0u);
+  EXPECT_EQ(span.data(), nullptr);
+  EXPECT_EQ(span.begin(), span.end());
+}
+
+TEST(SpanTest, ViewsVectorWithoutCopying) {
+  std::vector<int> values = {3, 1, 4, 1, 5};
+  Span<int> span = values;  // implicit — the common call shape
+  ASSERT_EQ(span.size(), values.size());
+  EXPECT_EQ(span.data(), values.data());
+  for (size_t i = 0; i < span.size(); ++i) EXPECT_EQ(span[i], values[i]);
+  EXPECT_EQ(std::accumulate(span.begin(), span.end(), 0), 14);
+}
+
+TEST(SpanTest, ViewsRawPointerRange) {
+  const double raw[] = {1.5, 2.5, 3.5};
+  Span<double> span(raw, 3);
+  EXPECT_EQ(span.size(), 3u);
+  EXPECT_DOUBLE_EQ(span[2], 3.5);
+}
+
+TEST(SpanTest, SubspanSelectsAndClampsToTheEnd) {
+  std::vector<int> values = {0, 1, 2, 3, 4};
+  Span<int> span = values;
+
+  Span<int> middle = span.subspan(1, 3);
+  ASSERT_EQ(middle.size(), 3u);
+  EXPECT_EQ(middle[0], 1);
+  EXPECT_EQ(middle[2], 3);
+
+  // A count past the end is clamped, never an error.
+  Span<int> tail = span.subspan(3, 100);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0], 3);
+
+  // offset == size is the legal empty tail.
+  EXPECT_TRUE(span.subspan(5, 1).empty());
+}
+
+TEST(SpanDeathTest, OutOfRangeAccessesAreChecked) {
+  std::vector<int> values = {1, 2};
+  Span<int> span = values;
+  EXPECT_DEATH(span[2], "span index");
+  EXPECT_DEATH(span.subspan(3, 0), "span offset");
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace amalur

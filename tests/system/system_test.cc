@@ -257,15 +257,15 @@ metadata::DiMetadata HandBuiltMetadata(const StarFixture& fixture) {
   return std::move(metadata).ValueOrDie();
 }
 
-core::Amalur MakeSystemWithStar(const StarFixture& fixture) {
-  core::Amalur system;
-  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+// Registers the star's sources into a caller-owned system (Amalur is
+// non-copyable: its catalog holds a reader/writer lock).
+void RegisterStarSources(core::Amalur* system, const StarFixture& fixture) {
+  AMALUR_CHECK_OK(system->catalog()->RegisterSource(
       {"visits", fixture.fact, "clinic-dept", false}));
-  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+  AMALUR_CHECK_OK(system->catalog()->RegisterSource(
       {"patients", fixture.patients, "registry", false}));
-  AMALUR_CHECK_OK(system.catalog()->RegisterSource(
+  AMALUR_CHECK_OK(system->catalog()->RegisterSource(
       {"clinics", fixture.clinics, "geo", false}));
-  return system;
 }
 
 }  // namespace star
@@ -277,7 +277,8 @@ TEST(SystemTest, StarFacadeMatchesHandBuiltDerivation) {
   star::StarFixture fixture = star::MakeStar(300, 606);
   const metadata::DiMetadata reference = star::HandBuiltMetadata(fixture);
 
-  core::Amalur system = star::MakeSystemWithStar(fixture);
+  core::Amalur system;
+  star::RegisterStarSources(&system, fixture);
   core::IntegrationSpec spec;
   spec.name = "visits-star";
   spec.sources = {"visits", "patients", "clinics"};
@@ -314,7 +315,8 @@ TEST(SystemTest, StarFacadeMergesOverlappingDimensionFeature) {
     AMALUR_CHECK_OK(fixture.patients.AddColumn(
         rel::Column::FromDoubles("visits", values)));  // overlaps the fact's
   }
-  core::Amalur system = star::MakeSystemWithStar(fixture);
+  core::Amalur system;
+  star::RegisterStarSources(&system, fixture);
   core::IntegrationSpec spec;
   spec.sources = {"visits", "patients", "clinics"};
   spec.relationships = {rel::JoinKind::kLeftJoin};
@@ -345,7 +347,8 @@ TEST(SystemTest, StarFacadeTrainsPredictsEvaluatesUnderBothStrategies) {
   // both the factorized and the materialized strategy — same weights, and
   // matching evaluation metrics on the materialized target table.
   star::StarFixture fixture = star::MakeStar(400, 707);
-  core::Amalur system = star::MakeSystemWithStar(fixture);
+  core::Amalur system;
+  star::RegisterStarSources(&system, fixture);
 
   core::IntegrationSpec spec;
   spec.sources = {"visits", "patients", "clinics"};
@@ -402,8 +405,10 @@ TEST(SystemTest, StarEdgeListSpecMatchesLegacyForm) {
   // an explicit edge list, derives identical metadata and reports the star
   // shape either way.
   star::StarFixture fixture = star::MakeStar(250, 505);
-  core::Amalur legacy_system = star::MakeSystemWithStar(fixture);
-  core::Amalur edge_system = star::MakeSystemWithStar(fixture);
+  core::Amalur legacy_system;
+  star::RegisterStarSources(&legacy_system, fixture);
+  core::Amalur edge_system;
+  star::RegisterStarSources(&edge_system, fixture);
 
   core::IntegrationSpec legacy;
   legacy.sources = {"visits", "patients", "clinics"};
@@ -788,7 +793,8 @@ TEST(SystemTest, PrivacyConstrainedStarTrainsNarySilos) {
 
   // Equivalence: an unconstrained system over the same silos, trained
   // centralized (materialized), produces the same model.
-  core::Amalur open = star::MakeSystemWithStar(fixture);
+  core::Amalur open;
+  star::RegisterStarSources(&open, fixture);
   auto open_integration = open.Integrate(spec);
   ASSERT_TRUE(open_integration.ok()) << open_integration.status();
   request.force_strategy = core::ExecutionStrategy::kMaterialize;
