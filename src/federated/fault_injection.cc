@@ -1,0 +1,300 @@
+#include "federated/fault_injection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace amalur {
+namespace federated {
+
+bool FaultSchedule::IsDownAt(const std::string& silo, size_t round) const {
+  const SiloFaultProfile& profile = ProfileFor(silo);
+  if (profile.crash_at_round < 0) return false;
+  if (static_cast<int64_t>(round) < profile.crash_at_round) return false;
+  return profile.rejoin_at_round < 0 ||
+         static_cast<int64_t>(round) < profile.rejoin_at_round;
+}
+
+void FaultyMessageBus::BeginRound(size_t round) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  round_ = round;
+}
+
+void FaultyMessageBus::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    rng_ = Rng(schedule_.seed());
+    round_ = 0;
+    bytes_wasted_ = 0;
+    messages_dropped_ = 0;
+    messages_suppressed_ = 0;
+    messages_duplicated_ = 0;
+    delayed_dense_.clear();
+    delayed_words_.clear();
+  }
+  MessageBus::Reset();
+}
+
+size_t FaultyMessageBus::WastedBytes() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return bytes_wasted_;
+}
+
+size_t FaultyMessageBus::MessagesDropped() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return messages_dropped_;
+}
+
+size_t FaultyMessageBus::MessagesSuppressed() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return messages_suppressed_;
+}
+
+size_t FaultyMessageBus::MessagesDuplicated() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return messages_duplicated_;
+}
+
+bool FaultyMessageBus::IsDown(const std::string& silo) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return schedule_.IsDownAt(silo, round_);
+}
+
+size_t FaultyMessageBus::current_round() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return round_;
+}
+
+FaultyMessageBus::Outcome FaultyMessageBus::ClassifyLocked(
+    const std::string& from, const std::string& to, size_t* delay_attempts) {
+  if (schedule_.IsDownAt(from, round_)) return Outcome::kSuppress;
+  if (schedule_.IsDownAt(to, round_)) return Outcome::kDrop;
+  // Link faults follow the *sender's* profile. One draw per send keeps the
+  // fault stream aligned with the protocol's message sequence, so the same
+  // seed reproduces the same faults regardless of thread count.
+  const SiloFaultProfile& profile = schedule_.ProfileFor(from);
+  const double draw = rng_.NextDouble();
+  if (draw < profile.drop_rate) return Outcome::kDrop;
+  if (draw < profile.drop_rate + profile.delay_rate) {
+    *delay_attempts = std::max<size_t>(profile.delay_attempts, 1);
+    return Outcome::kDelay;
+  }
+  if (draw <
+      profile.drop_rate + profile.delay_rate + profile.duplicate_rate) {
+    return Outcome::kDuplicate;
+  }
+  return Outcome::kDeliver;
+}
+
+template <typename Payload>
+void FaultyMessageBus::ApplySendFaults(
+    const Channel& channel, Payload payload, size_t payload_bytes,
+    std::map<Channel, std::deque<Delayed<Payload>>>* delayed,
+    void (FaultyMessageBus::*enqueue)(const Channel&, Payload)) {
+  const size_t wire_bytes = payload_bytes + kEnvelopeBytes;
+  Outcome outcome;
+  size_t delay_attempts = 0;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    // A send on a channel that still has a delayed message in flight is a
+    // retransmission of that message: the original *will* arrive, so the
+    // resend is redundant wire traffic — metered as waste, never enqueued
+    // (the receiver must not see stale duplicates). No RNG is consumed, so
+    // retries cannot shift the fault stream of later messages.
+    auto it = delayed->find(channel);
+    if (it != delayed->end() && !it->second.empty()) {
+      bytes_wasted_ += wire_bytes;
+      messages_duplicated_ += 1;
+      return;
+    }
+    outcome = ClassifyLocked(channel.first, channel.second, &delay_attempts);
+    switch (outcome) {
+      case Outcome::kSuppress:
+        messages_suppressed_ += 1;
+        return;
+      case Outcome::kDrop:
+        bytes_wasted_ += wire_bytes;
+        messages_dropped_ += 1;
+        return;
+      case Outcome::kDelay:
+        (*delayed)[channel].push_back(
+            Delayed<Payload>{std::move(payload), delay_attempts});
+        break;
+      case Outcome::kDuplicate:
+        // Delivered once below; the redundant wire copy is pure waste.
+        bytes_wasted_ += wire_bytes;
+        messages_duplicated_ += 1;
+        break;
+      case Outcome::kDeliver:
+        break;
+    }
+  }
+  // The message will arrive (now or after the delay), so it is metered as
+  // delivered traffic — `TotalBytes()` stays the honest transfer volume.
+  MeterTransfer(channel, payload_bytes);
+  if (outcome != Outcome::kDelay) {
+    (this->*enqueue)(channel, std::move(payload));
+  }
+}
+
+void FaultyMessageBus::Send(const std::string& from, const std::string& to,
+                           la::DenseMatrix payload) {
+  const size_t payload_bytes = DensePayloadBytes(payload);
+  ApplySendFaults(Channel{from, to}, std::move(payload), payload_bytes,
+                  &delayed_dense_, &FaultyMessageBus::EnqueueDensePayload);
+}
+
+void FaultyMessageBus::SendBytes(const std::string& from, const std::string& to,
+                                 std::vector<uint64_t> payload) {
+  const size_t payload_bytes = WordPayloadBytes(payload);
+  ApplySendFaults(Channel{from, to}, std::move(payload), payload_bytes,
+                  &delayed_words_, &FaultyMessageBus::EnqueueWordPayload);
+}
+
+void FaultyMessageBus::SendCiphertextWords(const std::string& from,
+                                           const std::string& to,
+                                           std::vector<uint64_t> packed) {
+  AMALUR_CHECK_EQ(packed.size() % 2, 0u)
+      << "ciphertext payloads are (lo, hi) word pairs";
+  const size_t payload_bytes = CiphertextPayloadBytes(packed);
+  ApplySendFaults(Channel{from, to}, std::move(packed), payload_bytes,
+                  &delayed_words_, &FaultyMessageBus::EnqueueWordPayload);
+}
+
+Result<la::DenseMatrix> FaultyMessageBus::Receive(const std::string& from,
+                                                  const std::string& to) {
+  const Channel channel{from, to};
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    auto it = delayed_dense_.find(channel);
+    if (it != delayed_dense_.end() && !it->second.empty()) {
+      Delayed<la::DenseMatrix>& head = it->second.front();
+      if (head.remaining_attempts > 0) {
+        head.remaining_attempts -= 1;
+        return Status::NotFound("message on channel ", from, " -> ", to,
+                                " still in flight");
+      }
+      la::DenseMatrix payload = std::move(head.payload);
+      it->second.pop_front();
+      EnqueueDense(channel, std::move(payload));
+    }
+  }
+  return MessageBus::Receive(from, to);
+}
+
+Result<std::vector<uint64_t>> FaultyMessageBus::ReceiveBytes(
+    const std::string& from, const std::string& to) {
+  const Channel channel{from, to};
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    auto it = delayed_words_.find(channel);
+    if (it != delayed_words_.end() && !it->second.empty()) {
+      Delayed<std::vector<uint64_t>>& head = it->second.front();
+      if (head.remaining_attempts > 0) {
+        head.remaining_attempts -= 1;
+        return Status::NotFound("message on channel ", from, " -> ", to,
+                                " still in flight");
+      }
+      std::vector<uint64_t> payload = std::move(head.payload);
+      it->second.pop_front();
+      EnqueueWords(channel, std::move(payload));
+    }
+  }
+  return MessageBus::ReceiveBytes(from, to);
+}
+
+const char* SiloLossActionToString(SiloLossAction action) {
+  switch (action) {
+    case SiloLossAction::kFail:
+      return "fail";
+    case SiloLossAction::kDegrade:
+      return "degrade";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Simulated backoff before retransmission attempt `attempt` (0-based):
+/// min(base << attempt, max), with the shift clamped so it cannot overflow.
+size_t BackoffMs(const RetryPolicy& retry, size_t attempt) {
+  const size_t shift = std::min<size_t>(attempt, 20);
+  return std::min(retry.base_backoff_ms << shift, retry.max_backoff_ms);
+}
+
+/// Generic reliable transfer: `send(payload)` + `receive()` with
+/// retransmission, simulated timeouts and capped exponential backoff. The
+/// same payload object is resent verbatim on every attempt, so retries
+/// never consume protocol randomness.
+template <typename Payload, typename SendFn, typename ReceiveFn>
+Result<Payload> ReliableTransfer(const FederatedPolicy& policy,
+                                 const std::string& from,
+                                 const std::string& to,
+                                 const std::string& blame, SendFn&& send,
+                                 ReceiveFn&& receive, WireTelemetry* wire) {
+  const RetryPolicy& retry = policy.retry;
+  for (size_t attempt = 0;; ++attempt) {
+    send();
+    auto received = receive();
+    if (received.ok()) return std::move(received).ValueOrDie();
+    // Failed receive: the message never surfaced within the (simulated)
+    // timeout window. Charge the timeout, then either give up or back off
+    // and retransmit.
+    wire->virtual_ms += retry.message_timeout_ms;
+    wire->round_ms += retry.message_timeout_ms;
+    const bool budget_spent = attempt >= retry.max_retries;
+    const bool round_expired = wire->round_ms > policy.max_round_timeout_ms;
+    if (budget_spent || round_expired) {
+      return Status::Unavailable(
+          "silo ", blame, " unreachable: channel ", from, " -> ", to,
+          " dead after ", attempt + 1, " delivery attempts (",
+          round_expired && !budget_spent ? "round timeout budget exhausted"
+                                         : "retry budget exhausted",
+          ", ", wire->round_ms, " ms of simulated round time)");
+    }
+    const size_t backoff = BackoffMs(retry, attempt);
+    wire->virtual_ms += backoff;
+    wire->round_ms += backoff;
+    wire->retries += 1;
+  }
+}
+
+}  // namespace
+
+Result<la::DenseMatrix> TransferDense(MessageBus* bus,
+                                      const FederatedPolicy& policy,
+                                      const std::string& from,
+                                      const std::string& to,
+                                      const std::string& blame,
+                                      const la::DenseMatrix& payload,
+                                      WireTelemetry* wire) {
+  return ReliableTransfer<la::DenseMatrix>(
+      policy, from, to, blame, [&] { bus->Send(from, to, payload); },
+      [&] { return bus->Receive(from, to); }, wire);
+}
+
+Result<std::vector<uint64_t>> TransferWords(MessageBus* bus,
+                                            const FederatedPolicy& policy,
+                                            const std::string& from,
+                                            const std::string& to,
+                                            const std::string& blame,
+                                            const std::vector<uint64_t>& payload,
+                                            WireTelemetry* wire) {
+  return ReliableTransfer<std::vector<uint64_t>>(
+      policy, from, to, blame, [&] { bus->SendBytes(from, to, payload); },
+      [&] { return bus->ReceiveBytes(from, to); }, wire);
+}
+
+Result<std::vector<uint64_t>> TransferCiphertextWords(
+    MessageBus* bus, const FederatedPolicy& policy, const std::string& from,
+    const std::string& to, const std::string& blame,
+    const std::vector<uint64_t>& packed, WireTelemetry* wire) {
+  return ReliableTransfer<std::vector<uint64_t>>(
+      policy, from, to, blame,
+      [&] { bus->SendCiphertextWords(from, to, packed); },
+      [&] { return bus->ReceiveBytes(from, to); }, wire);
+}
+
+}  // namespace federated
+}  // namespace amalur

@@ -1,0 +1,262 @@
+#ifndef AMALUR_FEDERATED_FAULT_INJECTION_H_
+#define AMALUR_FEDERATED_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "federated/message_bus.h"
+#include "la/dense_matrix.h"
+
+/// \file fault_injection.h
+/// The fault layer of the federated runtime: deterministic chaos for the
+/// `MessageBus` plus the retry/timeout/quorum policy the hardened protocols
+/// (`vfl.cc`, `hfl.cc`) train under.
+///
+/// A `FaultSchedule` describes, per silo, which faults its links suffer —
+/// random message drops, delivery delays, duplicated transmissions, and
+/// crash-at-round / rejoin-at-round lifecycle events. `FaultyMessageBus`
+/// applies the schedule to every transfer while keeping byte metering
+/// honest: delivered payloads (including successful retransmissions) land
+/// in `TotalBytes()` exactly as on the plain bus, while transmissions that
+/// never arrive — dropped messages, payloads addressed to a crashed silo,
+/// redundant retransmissions of a delayed message — accumulate in
+/// `WastedBytes()` instead of silently disappearing.
+///
+/// Everything is seeded through `common::Rng` and consumed on the protocol
+/// round thread only, so a chaos run is bitwise-reproducible: the same seed
+/// yields the same drops, the same retransmissions, the same byte counts
+/// and the same final weights at any thread count.
+
+namespace amalur {
+namespace federated {
+
+/// Fault behavior of one silo's links (and its crash lifecycle). All link
+/// faults apply to the silo's *outbound* messages; the crash window applies
+/// to both directions (a dead silo neither sends nor receives).
+struct SiloFaultProfile {
+  /// Probability that an outbound message is lost on the wire.
+  double drop_rate = 0.0;
+  /// Probability that an outbound message is delayed: the receiver's next
+  /// `delay_attempts` receive attempts miss it before it surfaces.
+  double delay_rate = 0.0;
+  size_t delay_attempts = 1;
+  /// Probability that an outbound message is transmitted twice; the bus's
+  /// delivery layer deduplicates, metering the redundant copy as waste.
+  double duplicate_rate = 0.0;
+  /// The silo is down for rounds in [crash_at_round, rejoin_at_round).
+  /// -1 = never crashes / never rejoins.
+  int64_t crash_at_round = -1;
+  int64_t rejoin_at_round = -1;
+};
+
+/// A deterministic, seeded chaos plan: one default profile applied to every
+/// silo plus per-silo overrides (an override *replaces* the default for
+/// that silo, it does not merge).
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(uint64_t seed) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// Profile for every silo without an explicit override.
+  void SetDefault(const SiloFaultProfile& profile) { default_ = profile; }
+  /// Per-silo override (replaces the default for `silo`).
+  void Set(const std::string& silo, const SiloFaultProfile& profile) {
+    overrides_[silo] = profile;
+  }
+
+  const SiloFaultProfile& ProfileFor(const std::string& silo) const {
+    auto it = overrides_.find(silo);
+    return it == overrides_.end() ? default_ : it->second;
+  }
+
+  /// Whether `silo` is inside its crash window at `round`.
+  bool IsDownAt(const std::string& silo, size_t round) const;
+
+ private:
+  uint64_t seed_ = 0;
+  SiloFaultProfile default_;
+  std::map<std::string, SiloFaultProfile> overrides_;
+};
+
+/// A `MessageBus` that routes every transfer through a `FaultSchedule`.
+///
+/// Fault semantics per send, decided by one deterministic draw from the
+/// schedule's RNG (in protocol order — bus calls happen only on the round
+/// thread, so the fault stream is reproducible):
+///
+///  * **suppressed** — the sender is crashed: nothing is transmitted and
+///    nothing is metered (a dead silo spends no bytes).
+///  * **dropped** — the receiver is crashed, or the sender's `drop_rate`
+///    fired: the payload is transmitted but never delivered; its bytes
+///    (payload + envelope) count toward `WastedBytes()`, not `TotalBytes()`.
+///  * **delayed** — metered normally at send time (it will arrive), but the
+///    receiver's next `delay_attempts` receive attempts return `kNotFound`
+///    before it surfaces. A retransmission sent while a delayed copy is
+///    pending is recognized as redundant and metered as waste — the
+///    delivery layer deduplicates, so the receiver never sees stale extras.
+///  * **duplicated** — delivered once; the redundant wire copy is waste.
+///
+/// `Reset()` (called by every protocol at training start) re-seeds the RNG
+/// from the schedule, so each training run over the same bus replays the
+/// same fault stream.
+class FaultyMessageBus : public MessageBus {
+ public:
+  explicit FaultyMessageBus(FaultSchedule schedule)
+      : schedule_(std::move(schedule)), rng_(schedule_.seed()) {}
+
+  void Send(const std::string& from, const std::string& to,
+            la::DenseMatrix payload) override;
+  void SendBytes(const std::string& from, const std::string& to,
+                 std::vector<uint64_t> payload) override;
+  void SendCiphertextWords(const std::string& from, const std::string& to,
+                           std::vector<uint64_t> packed) override;
+  Result<la::DenseMatrix> Receive(const std::string& from,
+                                  const std::string& to) override;
+  Result<std::vector<uint64_t>> ReceiveBytes(const std::string& from,
+                                             const std::string& to) override;
+
+  void BeginRound(size_t round) override;
+  void Reset() override;
+
+  size_t WastedBytes() const override;
+  size_t MessagesDropped() const override;
+  size_t MessagesSuppressed() const;
+  size_t MessagesDuplicated() const;
+
+  /// Whether `silo` is crashed at the current round.
+  bool IsDown(const std::string& silo) const;
+  size_t current_round() const;
+
+ private:
+  enum class Outcome { kDeliver, kDrop, kDelay, kDuplicate, kSuppress };
+
+  template <typename Payload>
+  struct Delayed {
+    Payload payload;
+    size_t remaining_attempts = 0;
+  };
+
+  /// Classifies one send; consumes exactly one RNG draw unless an endpoint
+  /// is crashed. Caller holds `fault_mu_`.
+  Outcome ClassifyLocked(const std::string& from, const std::string& to,
+                         size_t* delay_attempts);
+
+  /// Shared send path for all three payload kinds.
+  template <typename Payload>
+  void ApplySendFaults(const Channel& channel, Payload payload,
+                       size_t payload_bytes,
+                       std::map<Channel, std::deque<Delayed<Payload>>>* delayed,
+                       void (FaultyMessageBus::*enqueue)(const Channel&,
+                                                         Payload));
+
+  void EnqueueDensePayload(const Channel& channel, la::DenseMatrix payload) {
+    EnqueueDense(channel, std::move(payload));
+  }
+  void EnqueueWordPayload(const Channel& channel,
+                          std::vector<uint64_t> payload) {
+    EnqueueWords(channel, std::move(payload));
+  }
+
+  FaultSchedule schedule_;
+
+  mutable std::mutex fault_mu_;  // guards everything below
+  Rng rng_;
+  size_t round_ = 0;
+  size_t bytes_wasted_ = 0;
+  size_t messages_dropped_ = 0;
+  size_t messages_suppressed_ = 0;
+  size_t messages_duplicated_ = 0;
+  std::map<Channel, std::deque<Delayed<la::DenseMatrix>>> delayed_dense_;
+  std::map<Channel, std::deque<Delayed<std::vector<uint64_t>>>> delayed_words_;
+};
+
+/// How the coordinator reacts when a silo stops answering.
+enum class SiloLossAction : int8_t {
+  /// Abort the run with `kUnavailable` naming the lost silo.
+  kFail = 0,
+  /// Keep going on the surviving quorum: HFL re-weights FedAvg over the
+  /// reachable shards (lost silos may rejoin at a later round boundary);
+  /// VFL cannot shed a feature-owning party and still fails with
+  /// `kUnavailable` — vertical degradation is structurally impossible.
+  kDegrade = 1,
+};
+
+const char* SiloLossActionToString(SiloLossAction action);
+
+/// Per-message reliability knobs: how hard a transfer tries before the
+/// remote end is presumed lost. Time is *simulated* (accumulated in
+/// `WireTelemetry`), never slept — chaos runs stay fast and deterministic.
+struct RetryPolicy {
+  /// Retransmissions after the initial send (so max_retries + 1 delivery
+  /// attempts in total).
+  size_t max_retries = 3;
+  /// Simulated cost of one failed receive attempt.
+  size_t message_timeout_ms = 50;
+  /// Exponential backoff between attempts: min(base << attempt, max).
+  size_t base_backoff_ms = 25;
+  size_t max_backoff_ms = 400;
+};
+
+/// Coordinator policy for a fault-tolerant federated run. The defaults are
+/// transparent for healthy runs: retries only fire on a fault, so a
+/// no-fault run's traffic, RNG schedule and weights are bitwise-identical
+/// to the pre-policy protocols.
+struct FederatedPolicy {
+  /// Minimum reachable participants a round may proceed with (HFL). Falling
+  /// below it is `kUnavailable` even under `kDegrade`.
+  size_t min_quorum = 1;
+  /// Simulated per-round budget: once a round has burnt this much virtual
+  /// time on timeouts/backoffs, remaining unresponsive silos are declared
+  /// lost without consuming the rest of their retry budget.
+  size_t max_round_timeout_ms = 60000;
+  SiloLossAction on_silo_loss = SiloLossAction::kFail;
+  RetryPolicy retry;
+};
+
+/// Accumulated reliability telemetry of one training run. `round_ms` is
+/// reset by the protocol at each round boundary; the rest only grows.
+struct WireTelemetry {
+  size_t retries = 0;
+  size_t virtual_ms = 0;
+  size_t round_ms = 0;
+};
+
+/// Reliable-delivery helpers: send + receive on (`from` -> `to`) with
+/// retransmission, simulated timeout and bounded exponential backoff per
+/// `policy.retry`, charging virtual time to `wire`. On a healthy channel
+/// each performs exactly one send and one receive — byte-for-byte what the
+/// unhardened protocols did. When the budget (retries or the round's
+/// `max_round_timeout_ms`) is exhausted, returns `kUnavailable` naming
+/// `blame` (the remote silo from the caller's perspective) and the channel.
+Result<la::DenseMatrix> TransferDense(MessageBus* bus,
+                                      const FederatedPolicy& policy,
+                                      const std::string& from,
+                                      const std::string& to,
+                                      const std::string& blame,
+                                      const la::DenseMatrix& payload,
+                                      WireTelemetry* wire);
+Result<std::vector<uint64_t>> TransferWords(MessageBus* bus,
+                                            const FederatedPolicy& policy,
+                                            const std::string& from,
+                                            const std::string& to,
+                                            const std::string& blame,
+                                            const std::vector<uint64_t>& payload,
+                                            WireTelemetry* wire);
+/// Ciphertext payloads retransmit the *same* packed words — a resend never
+/// re-encrypts, so wire faults cannot perturb the protocol's RNG schedule.
+Result<std::vector<uint64_t>> TransferCiphertextWords(
+    MessageBus* bus, const FederatedPolicy& policy, const std::string& from,
+    const std::string& to, const std::string& blame,
+    const std::vector<uint64_t>& packed, WireTelemetry* wire);
+
+}  // namespace federated
+}  // namespace amalur
+
+#endif  // AMALUR_FEDERATED_FAULT_INJECTION_H_

@@ -1,9 +1,11 @@
 #ifndef AMALUR_FEDERATED_HFL_H_
 #define AMALUR_FEDERATED_HFL_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "federated/fault_injection.h"
 #include "federated/message_bus.h"
 #include "la/dense_matrix.h"
 #include "metadata/di_metadata.h"
@@ -39,15 +41,32 @@ struct HflOptions {
   /// Aggregate updates via additive secret sharing instead of plaintext.
   bool secure_aggregation = true;
   uint64_t seed = 7;
+  /// Reliability policy. Under `on_silo_loss = kDegrade` a party whose
+  /// round broadcast exhausts its retry budget is marked down and FedAvg
+  /// re-weights over the surviving shards (the round average divides by the
+  /// survivors' rows, not the global total); a down party is probed once
+  /// per round boundary and re-admitted when it answers again. Falling
+  /// below `min_quorum` reachable participants is `kUnavailable` even when
+  /// degrading.
+  FederatedPolicy policy;
 };
 
 /// A trained global model plus communication accounting.
 struct HflResult {
   la::DenseMatrix weights;  // d × 1
-  /// Global training MSE after each round.
+  /// Global training MSE after each round (over the round's participants).
   std::vector<double> loss_history;
   size_t bytes_transferred = 0;
   size_t messages = 0;
+  /// Parties that were declared lost at least once (degrade mode only; a
+  /// silo appears once even if it later rejoined).
+  std::vector<std::string> silos_dropped;
+  /// Rounds that ran with fewer participants than parties.
+  size_t rounds_degraded = 0;
+  /// Retransmissions performed by the reliable-delivery layer.
+  size_t retries = 0;
+  /// Bytes burnt on transmissions that never arrived (`MessageBus::WastedBytes`).
+  size_t bytes_wasted = 0;
 };
 
 /// Runs FedAvg linear regression over the partitions.

@@ -5,7 +5,7 @@
 namespace amalur {
 namespace federated {
 
-void MessageBus::Account(const Channel& channel, size_t payload_bytes) {
+void MessageBus::AccountLocked(const Channel& channel, size_t payload_bytes) {
   TransferStats& stats = stats_[channel];
   stats.messages += 1;
   stats.bytes += payload_bytes + kEnvelopeBytes;
@@ -13,17 +13,35 @@ void MessageBus::Account(const Channel& channel, size_t payload_bytes) {
   total_messages_ += 1;
 }
 
+void MessageBus::MeterTransfer(const Channel& channel, size_t payload_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AccountLocked(channel, payload_bytes);
+}
+
+void MessageBus::EnqueueDense(const Channel& channel, la::DenseMatrix payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dense_queues_[channel].push_back(std::move(payload));
+}
+
+void MessageBus::EnqueueWords(const Channel& channel,
+                              std::vector<uint64_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_queues_[channel].push_back(std::move(payload));
+}
+
 void MessageBus::Send(const std::string& from, const std::string& to,
                       la::DenseMatrix payload) {
   const Channel channel{from, to};
-  Account(channel, payload.size() * sizeof(double));
+  std::lock_guard<std::mutex> lock(mu_);
+  AccountLocked(channel, DensePayloadBytes(payload));
   dense_queues_[channel].push_back(std::move(payload));
 }
 
 void MessageBus::SendBytes(const std::string& from, const std::string& to,
                            std::vector<uint64_t> payload) {
   const Channel channel{from, to};
-  Account(channel, payload.size() * sizeof(uint64_t));
+  std::lock_guard<std::mutex> lock(mu_);
+  AccountLocked(channel, WordPayloadBytes(payload));
   byte_queues_[channel].push_back(std::move(payload));
 }
 
@@ -32,14 +50,15 @@ void MessageBus::SendCiphertextWords(const std::string& from,
                                      std::vector<uint64_t> packed) {
   AMALUR_CHECK_EQ(packed.size() % 2, 0u)
       << "ciphertext payloads are (lo, hi) word pairs";
-  const size_t ciphertexts = packed.size() / 2;
   const Channel channel{from, to};
-  Account(channel, ciphertexts * kCiphertextWireBytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  AccountLocked(channel, CiphertextPayloadBytes(packed));
   byte_queues_[channel].push_back(std::move(packed));
 }
 
 Result<la::DenseMatrix> MessageBus::Receive(const std::string& from,
                                             const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = dense_queues_.find({from, to});
   if (it == dense_queues_.end() || it->second.empty()) {
     return Status::NotFound("no pending message on channel ", from, " -> ", to);
@@ -51,6 +70,7 @@ Result<la::DenseMatrix> MessageBus::Receive(const std::string& from,
 
 Result<std::vector<uint64_t>> MessageBus::ReceiveBytes(const std::string& from,
                                                        const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = byte_queues_.find({from, to});
   if (it == byte_queues_.end() || it->second.empty()) {
     return Status::NotFound("no pending bytes on channel ", from, " -> ", to);
@@ -62,11 +82,23 @@ Result<std::vector<uint64_t>> MessageBus::ReceiveBytes(const std::string& from,
 
 TransferStats MessageBus::ChannelStats(const std::string& from,
                                        const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = stats_.find({from, to});
   return it == stats_.end() ? TransferStats{} : it->second;
 }
 
+size_t MessageBus::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+size_t MessageBus::TotalMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_messages_;
+}
+
 void MessageBus::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   dense_queues_.clear();
   byte_queues_.clear();
   stats_.clear();

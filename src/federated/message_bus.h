@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -16,6 +18,19 @@
 /// which meters exact transfer volumes per channel — the quantity the §V
 /// discussion (and the communication-cost analysis) needs. Latency is not
 /// simulated; cost models multiply bytes by a configurable cost-per-byte.
+///
+/// **Threading contract.** The protocols drive the bus exclusively from the
+/// round-loop thread — the `ParallelForChunks` regions inside `vfl.cc` /
+/// `hfl.cc` only do silo-local math and never reach the bus. The bus is
+/// nevertheless *internally synchronized* (one mutex guards queues and
+/// accounting, including `TotalBytes()`/`TotalMessages()`), so a monitor or
+/// test thread reading the stats while a protocol runs is clean under
+/// ThreadSanitizer by construction, not by call-site discipline.
+///
+/// The transfer entry points are virtual so a fault layer
+/// (`federated::FaultyMessageBus`, fault_injection.h) can interpose
+/// drop/delay/duplicate/crash behavior without protocols knowing: they keep
+/// programming against `MessageBus*`.
 
 namespace amalur {
 namespace federated {
@@ -38,14 +53,20 @@ class MessageBus {
   /// encryption blow-up from `bytes_transferred`.
   static constexpr size_t kCiphertextWireBytes = 16;
 
+  MessageBus() = default;
+  virtual ~MessageBus() = default;
+  // The mutex makes the bus non-copyable — protocols share one by pointer.
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
   /// Sends a dense payload from `from` to `to`. Payload bytes are
   /// 8 per cell plus a fixed 32-byte envelope.
-  void Send(const std::string& from, const std::string& to,
-            la::DenseMatrix payload);
+  virtual void Send(const std::string& from, const std::string& to,
+                    la::DenseMatrix payload);
 
   /// Sends an opaque byte payload (already-encrypted data).
-  void SendBytes(const std::string& from, const std::string& to,
-                 std::vector<uint64_t> payload);
+  virtual void SendBytes(const std::string& from, const std::string& to,
+                         std::vector<uint64_t> payload);
 
   /// Sends a packed ciphertext payload (`PackCiphertexts` output: 2 words
   /// per ciphertext). Accounted at `kCiphertextWireBytes` per ciphertext —
@@ -55,34 +76,69 @@ class MessageBus {
   /// well-formed packing this coincides with `SendBytes`'s raw word rate;
   /// the typed path exists to keep that true by construction (the shape
   /// CHECK plus one named constant) rather than by caller discipline.
-  void SendCiphertextWords(const std::string& from, const std::string& to,
-                           std::vector<uint64_t> packed);
+  virtual void SendCiphertextWords(const std::string& from,
+                                   const std::string& to,
+                                   std::vector<uint64_t> packed);
 
   /// Pops the oldest dense payload on the channel; error when empty.
-  Result<la::DenseMatrix> Receive(const std::string& from, const std::string& to);
+  virtual Result<la::DenseMatrix> Receive(const std::string& from,
+                                          const std::string& to);
 
   /// Pops the oldest byte payload on the channel; error when empty.
-  Result<std::vector<uint64_t>> ReceiveBytes(const std::string& from,
-                                             const std::string& to);
+  virtual Result<std::vector<uint64_t>> ReceiveBytes(const std::string& from,
+                                                     const std::string& to);
 
   /// Stats of one directed channel.
-  TransferStats ChannelStats(const std::string& from, const std::string& to) const;
+  TransferStats ChannelStats(const std::string& from,
+                             const std::string& to) const;
 
-  /// Total bytes moved over all channels.
-  size_t TotalBytes() const { return total_bytes_; }
-  /// Total messages moved over all channels.
-  size_t TotalMessages() const { return total_messages_; }
+  /// Total bytes successfully *delivered* over all channels. Bytes burnt on
+  /// transmissions that never arrived are reported by `WastedBytes()`.
+  size_t TotalBytes() const;
+  /// Total messages delivered over all channels.
+  size_t TotalMessages() const;
+
+  /// Bytes spent on transmissions that were never delivered (dropped,
+  /// addressed to a crashed silo, or redundant retransmissions). Always 0 on
+  /// the plain bus; `FaultyMessageBus` overrides.
+  virtual size_t WastedBytes() const { return 0; }
+  /// Messages lost on the wire (subset of the waste). 0 on the plain bus.
+  virtual size_t MessagesDropped() const { return 0; }
+
+  /// Round boundary notification. Protocols call this once per round so a
+  /// fault layer can evaluate crash-at-round / rejoin-at-round schedules;
+  /// the plain bus ignores it.
+  virtual void BeginRound(size_t round) { (void)round; }
 
   /// Clears queues and statistics.
-  void Reset();
+  virtual void Reset();
 
- private:
+ protected:
   static constexpr size_t kEnvelopeBytes = 32;
 
   using Channel = std::pair<std::string, std::string>;
 
-  void Account(const Channel& channel, size_t payload_bytes);
+  static size_t DensePayloadBytes(const la::DenseMatrix& payload) {
+    return payload.size() * sizeof(double);
+  }
+  static size_t WordPayloadBytes(const std::vector<uint64_t>& payload) {
+    return payload.size() * sizeof(uint64_t);
+  }
+  static size_t CiphertextPayloadBytes(const std::vector<uint64_t>& packed) {
+    return (packed.size() / 2) * kCiphertextWireBytes;
+  }
 
+  /// Fault-layer hooks: metering and delivery are split so a derived bus
+  /// can meter a payload at send time yet deliver it later (delay faults),
+  /// or deliver without re-metering. Each takes the lock itself.
+  void MeterTransfer(const Channel& channel, size_t payload_bytes);
+  void EnqueueDense(const Channel& channel, la::DenseMatrix payload);
+  void EnqueueWords(const Channel& channel, std::vector<uint64_t> payload);
+
+ private:
+  void AccountLocked(const Channel& channel, size_t payload_bytes);
+
+  mutable std::mutex mu_;
   std::map<Channel, std::deque<la::DenseMatrix>> dense_queues_;
   std::map<Channel, std::deque<std::vector<uint64_t>>> byte_queues_;
   std::map<Channel, TransferStats> stats_;

@@ -60,7 +60,10 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
   if (bus == nullptr) return Status::InvalidArgument("bus must not be null");
   const size_t n_parties = parties.size();
   if (n_parties < 2) {
-    return Status::InvalidArgument("vertical FLR needs at least two parties");
+    return Status::InvalidArgument(
+        "vertical FLR needs at least two parties, got ", n_parties,
+        "; a single party holds every feature — train locally instead of "
+        "federating");
   }
   const size_t n_rows = parties[0].x.rows();
   if (labels.rows() != n_rows || labels.cols() != 1) {
@@ -91,6 +94,17 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
   bus->Reset();
   Rng rng(options.seed);
 
+  // Reliable-delivery context. VFL has no quorum to fall back on — every
+  // party owns feature columns the model cannot do without — so a transfer
+  // that exhausts its retry budget ends the run with `kUnavailable`. The
+  // blamed silo is the non-coordinator endpoint of the dead channel: when a
+  // message to/from the label party (or the Paillier coordinator "C") dies,
+  // the data party on the other end is the one presumed lost.
+  WireTelemetry wire;
+  auto blame = [&](const std::string& from, const std::string& to) {
+    return (to == names[0] || to == "C") ? from : to;
+  };
+
   // Coordinator C owns the Paillier keys in the secure mode; the data
   // parties use the public key only. (GenerateKeys is deterministic in the
   // seed.)
@@ -105,6 +119,8 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
   std::vector<la::DenseMatrix> u(n_parties);
   std::vector<la::DenseMatrix> gradients(n_parties);
   for (size_t it = 0; it < options.iterations; ++it) {
+    bus->BeginRound(it);
+    wire.round_ms = 0;
     if (options.privacy == VflPrivacy::kPlaintext) {
       // Local forward passes, one silo per slot — fixed-order merge keeps
       // the round bitwise-reproducible at any thread count.
@@ -116,26 +132,26 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
           });
 
       // Parties -> label party: u_k; the label party forms the residual d
-      // and the loss, then broadcasts d.
-      for (size_t k = 1; k < n_parties; ++k) {
-        bus->Send(names[k], names[0], u[k]);
-      }
+      // and the loss, then broadcasts d. Each hop is a reliable transfer —
+      // on a healthy wire exactly one send + one receive per channel, so
+      // the traffic is byte-identical to the unhardened protocol.
       la::DenseMatrix predictions = u[0];
       for (size_t k = 1; k < n_parties; ++k) {
-        AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix u_at_root,
-                                bus->Receive(names[k], names[0]));
+        AMALUR_ASSIGN_OR_RETURN(
+            la::DenseMatrix u_at_root,
+            TransferDense(bus, options.policy, names[k], names[0],
+                          blame(names[k], names[0]), u[k], &wire));
         predictions = predictions.Add(u_at_root);
       }
       la::DenseMatrix d = predictions.Subtract(labels);
       result.loss_history.push_back(ml::MeanSquaredError(predictions, labels));
-      for (size_t k = 1; k < n_parties; ++k) {
-        bus->Send(names[0], names[k], d);
-      }
       std::vector<la::DenseMatrix> d_at(n_parties);
-      d_at[0] = std::move(d);
       for (size_t k = 1; k < n_parties; ++k) {
-        AMALUR_ASSIGN_OR_RETURN(d_at[k], bus->Receive(names[0], names[k]));
+        AMALUR_ASSIGN_OR_RETURN(
+            d_at[k], TransferDense(bus, options.policy, names[0], names[k],
+                                   blame(names[0], names[k]), d, &wire));
       }
+      d_at[0] = std::move(d);
 
       // Local gradient steps, again one silo per slot.
       common::ParallelForChunks(
@@ -165,32 +181,35 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
     la::DenseMatrix u0_minus_y = u[0].Subtract(labels);
     std::vector<PaillierCiphertext> enc_sum =
         paillier.EncryptMatrix(u0_minus_y, &rng);
-    bus->SendCiphertextWords(names[0], names[1], PackCiphertexts(enc_sum));
+    // Ring hops are reliable transfers of the *packed* ciphertexts: a
+    // retransmission resends the same words, never re-encrypts, so wire
+    // faults cannot shift the protocol's RNG schedule.
     for (size_t k = 1; k < n_parties; ++k) {
-      AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
-                              bus->ReceiveBytes(names[k - 1], names[k]));
+      AMALUR_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> words,
+          TransferCiphertextWords(bus, options.policy, names[k - 1], names[k],
+                                  blame(names[k - 1], names[k]),
+                                  PackCiphertexts(enc_sum), &wire));
       enc_sum = UnpackCiphertexts(words);
       for (size_t i = 0; i < n_rows; ++i) {
         enc_sum[i] = paillier.CipherAdd(
             enc_sum[i], paillier.EncryptDouble(u[k].At(i, 0), &rng));
-      }
-      if (k + 1 < n_parties) {
-        bus->SendCiphertextWords(names[k], names[k + 1],
-                                 PackCiphertexts(enc_sum));
       }
     }
     // The last party broadcasts [[d]] so every silo can compute its
     // gradient homomorphically.
     const size_t last = n_parties - 1;
     std::vector<std::vector<PaillierCiphertext>> enc_d_at(n_parties);
-    for (size_t k = 0; k < last; ++k) {
-      bus->SendCiphertextWords(names[last], names[k],
-                               PackCiphertexts(enc_sum));
-    }
-    for (size_t k = 0; k < last; ++k) {
-      AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
-                              bus->ReceiveBytes(names[last], names[k]));
-      enc_d_at[k] = UnpackCiphertexts(words);
+    {
+      const std::vector<uint64_t> packed_d = PackCiphertexts(enc_sum);
+      for (size_t k = 0; k < last; ++k) {
+        AMALUR_ASSIGN_OR_RETURN(
+            std::vector<uint64_t> words,
+            TransferCiphertextWords(bus, options.policy, names[last], names[k],
+                                    blame(names[last], names[k]), packed_d,
+                                    &wire));
+        enc_d_at[k] = UnpackCiphertexts(words);
+      }
     }
     enc_d_at[last] = enc_sum;
 
@@ -213,17 +232,21 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
         enc_grad[j] =
             paillier.CipherAdd(enc_grad[j], paillier.EncryptRaw(message, &rng));
       }
-      bus->SendCiphertextWords(party, "C", PackCiphertexts(enc_grad));
-      AMALUR_ASSIGN_OR_RETURN(std::vector<uint64_t> at_c,
-                              bus->ReceiveBytes(party, "C"));
+      AMALUR_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> at_c,
+          TransferCiphertextWords(bus, options.policy, party, "C",
+                                  blame(party, "C"), PackCiphertexts(enc_grad),
+                                  &wire));
       std::vector<PaillierCiphertext> ciphers = UnpackCiphertexts(at_c);
       la::DenseMatrix decrypted(x.cols(), 1);
       for (size_t j = 0; j < x.cols(); ++j) {
         decrypted.At(j, 0) =
             DecodeScaled(paillier.DecryptRaw(ciphers[j]), n_pub, scale_squared);
       }
-      bus->Send("C", party, decrypted);
-      AMALUR_ASSIGN_OR_RETURN(la::DenseMatrix back, bus->Receive("C", party));
+      AMALUR_ASSIGN_OR_RETURN(
+          la::DenseMatrix back,
+          TransferDense(bus, options.policy, "C", party, blame("C", party),
+                        decrypted, &wire));
       back.SubtractInPlace(mask);  // party removes its own mask
       return back;
     };
@@ -252,6 +275,8 @@ Result<NaryVflResult> TrainVerticalFlrNary(const std::vector<VflParty>& parties,
 
   result.bytes_transferred = bus->TotalBytes();
   result.messages = bus->TotalMessages();
+  result.retries = wire.retries;
+  result.bytes_wasted = bus->WastedBytes();
   return result;
 }
 
@@ -279,7 +304,12 @@ Result<NaryVflAlignment> AlignForVflNary(const metadata::DiMetadata& metadata,
                                          size_t label_column) {
   const size_t n_sources = metadata.num_sources();
   if (n_sources < 2) {
-    return Status::InvalidArgument("VFL alignment needs >= 2 sources");
+    return Status::InvalidArgument(
+        "VFL alignment needs >= 2 sources, got ", n_sources,
+        n_sources == 1
+            ? "; a single source holds every feature and the label — train "
+              "locally (or factorized) instead of federating"
+            : "");
   }
   if (label_column >= metadata.target_cols()) {
     return Status::OutOfRange("label column out of range");

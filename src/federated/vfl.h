@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "federated/fault_injection.h"
 #include "federated/message_bus.h"
 #include "la/dense_matrix.h"
 #include "metadata/di_metadata.h"
@@ -51,6 +52,11 @@ struct VflOptions {
   int paillier_prime_bits = 30;
   int fractional_bits = 12;
   uint64_t seed = 99;
+  /// Reliability policy: retry/timeout budgets per transfer. Vertical FLR
+  /// cannot shed a feature-owning party, so `on_silo_loss = kDegrade` does
+  /// not change VFL behavior — an unreachable data party (or coordinator)
+  /// always ends the run with `kUnavailable` naming the lost silo.
+  FederatedPolicy policy;
 };
 
 /// One silo of the n-ary vertical protocol: its aligned local feature block
@@ -75,6 +81,15 @@ struct NaryVflResult {
   size_t rounds = 0;
   size_t bytes_transferred = 0;
   size_t messages = 0;
+  /// Reliability telemetry. VFL cannot degrade, so `silos_dropped` is
+  /// always empty and `rounds_degraded` 0 on success — the fields exist so
+  /// the executor reports one shape for both federated strategies.
+  std::vector<std::string> silos_dropped;
+  size_t rounds_degraded = 0;
+  /// Retransmissions performed by the reliable-delivery layer.
+  size_t retries = 0;
+  /// Bytes burnt on transmissions that never arrived (`MessageBus::WastedBytes`).
+  size_t bytes_wasted = 0;
 };
 
 /// Trains n-ary vertical FLR. `parties[0]` is the label party (it also
