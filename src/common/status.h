@@ -41,7 +41,12 @@ const char* StatusCodeToString(StatusCode code);
 /// accept any streamable arguments:
 ///
 ///     return Status::InvalidArgument("row ", i, " out of range [0, ", n, ")");
-class Status {
+///
+/// `Status` (and `Result<T>`) are `[[nodiscard]]`: the compiler rejects a
+/// silently dropped error under `-Werror`. Call sites that genuinely do not
+/// care must say so with a `(void)` cast and a comment explaining why the
+/// failure is ignorable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -131,7 +136,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& status) {
 /// return: check `ok()` (or propagate with `AMALUR_ASSIGN_OR_RETURN`) before
 /// dereferencing.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return some_t;`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -187,9 +192,10 @@ class Result {
 #define AMALUR_ASSIGN_OR_RETURN(lhs, expr)                          \
   AMALUR_ASSIGN_OR_RETURN_IMPL(AMALUR_CONCAT(_result_, __LINE__), lhs, expr)
 
+// `lhs` may be a declaration (`auto x`), so it cannot be parenthesized.
 #define AMALUR_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
   auto result_name = (expr);                                 \
   if (!result_name.ok()) return result_name.status();        \
-  lhs = std::move(result_name).ValueOrDie()
+  lhs = std::move(result_name).ValueOrDie()  // NOLINT(bugprone-macro-parentheses)
 
 #endif  // AMALUR_COMMON_STATUS_H_

@@ -29,7 +29,8 @@ size_t HardwareThreads() {
 
 size_t DefaultNumThreads() {
   static const size_t resolved = [] {
-    const char* env = std::getenv("AMALUR_NUM_THREADS");
+    // Read exactly once, under static-local init (thread-safe since C++11).
+    const char* env = std::getenv("AMALUR_NUM_THREADS");  // NOLINT(concurrency-mt-unsafe)
     if (env != nullptr && *env != '\0') {
       char* end = nullptr;
       const long parsed = std::strtol(env, &end, 10);
@@ -71,9 +72,9 @@ struct ThreadPool::Batch {
   std::atomic<size_t> done{0};    // chunks finished (or skipped after failure)
   std::atomic<size_t> active{0};  // workers currently inside the batch
   std::atomic<bool> failed{false};
-  std::exception_ptr error;  // guarded by mu
-  std::mutex mu;
-  std::condition_variable finished;
+  Mutex mu;
+  std::exception_ptr error GUARDED_BY(mu);
+  CondVar finished;
 };
 
 ThreadPool::ThreadPool(size_t num_workers) {
@@ -85,10 +86,10 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -111,15 +112,15 @@ void ThreadPool::WorkChunks(Batch* batch) {
       try {
         task(chunk);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(batch->mu);
+        MutexLock lock(batch->mu);
         if (!batch->error) batch->error = std::current_exception();
         batch->failed.store(true, std::memory_order_relaxed);
       }
     }
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch->num_chunks) {
-      std::lock_guard<std::mutex> lock(batch->mu);
-      batch->finished.notify_all();
+      MutexLock lock(batch->mu);
+      batch->finished.NotifyAll();
     }
   }
 }
@@ -129,10 +130,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Batch* batch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      // Explicit wait loop (house idiom): the analysis sees the guarded
+      // reads under mu_, which a predicate lambda would hide from it.
+      while (!stop_ && generation_ == seen_generation) wake_.Wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       batch = batch_;
@@ -143,9 +144,9 @@ void ThreadPool::WorkerLoop() {
     WorkChunks(batch);
     t_in_parallel_region = false;
     {
-      std::lock_guard<std::mutex> lock(batch->mu);
+      MutexLock lock(batch->mu);
       batch->active.fetch_sub(1, std::memory_order_acq_rel);
-      batch->finished.notify_all();
+      batch->finished.NotifyAll();
     }
   }
 }
@@ -170,13 +171,13 @@ void ThreadPool::RunChunks(size_t num_chunks,
   batch.task = &task;
   batch.num_chunks = num_chunks;
 
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  MutexLock submit(submit_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = &batch;
     ++generation_;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
 
   const bool was_nested = t_in_parallel_region;
   t_in_parallel_region = true;
@@ -186,17 +187,19 @@ void ThreadPool::RunChunks(size_t num_chunks,
   // Retire the batch before waiting so late-waking workers skip it, then
   // wait for the chunks in flight on other workers.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = nullptr;
   }
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(batch.mu);
-    batch.finished.wait(lock, [&] {
-      return batch.done.load(std::memory_order_acquire) == batch.num_chunks &&
-             batch.active.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(batch.mu);
+    while (batch.done.load(std::memory_order_acquire) != batch.num_chunks ||
+           batch.active.load(std::memory_order_acquire) != 0) {
+      batch.finished.Wait(batch.mu);
+    }
+    error = batch.error;
   }
-  if (batch.error) std::rethrow_exception(batch.error);
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {

@@ -2,14 +2,13 @@
 #define AMALUR_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/parallel_for.h"
+#include "common/thread_annotations.h"
 
 /// \file thread_pool.h
 /// The worker pool behind `ParallelFor` (see parallel_for.h for the
@@ -57,12 +56,13 @@ class ThreadPool {
   void WorkerLoop();
   static void WorkChunks(Batch* batch);
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  Batch* batch_ = nullptr;     // guarded by mu_
-  uint64_t generation_ = 0;    // bumped per submitted batch, guarded by mu_
-  bool stop_ = false;          // guarded by mu_
-  std::mutex submit_mu_;       // serializes RunChunks callers
+  Mutex mu_;
+  CondVar wake_;
+  Batch* batch_ GUARDED_BY(mu_) = nullptr;
+  /// Bumped per submitted batch.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  Mutex submit_mu_;  // serializes RunChunks callers
   std::vector<std::thread> workers_;
 };
 

@@ -1,7 +1,5 @@
 #include "core/catalog.h"
 
-#include <mutex>
-
 namespace amalur {
 namespace core {
 
@@ -11,26 +9,26 @@ namespace core {
 
 Status Catalog::RegisterSource(SourceEntry entry) {
   if (entry.name.empty()) return Status::InvalidArgument("empty source name");
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = sources_.try_emplace(entry.name, std::move(entry));
   if (!inserted) return Status::AlreadyExists("source '", it->first, "'");
   return Status::OK();
 }
 
 Result<const SourceEntry*> Catalog::GetSource(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   auto it = sources_.find(name);
   if (it == sources_.end()) return Status::NotFound("source '", name, "'");
   return &it->second;
 }
 
 bool Catalog::HasSource(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   return sources_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::SourceNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(sources_.size());
   for (const auto& [name, entry] : sources_) names.push_back(name);
@@ -41,7 +39,7 @@ Status Catalog::RegisterIntegration(IntegrationHandle entry) {
   if (entry.name.empty()) {
     return Status::InvalidArgument("empty integration name");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = integrations_.try_emplace(entry.name, std::move(entry));
   if (!inserted) return Status::AlreadyExists("integration '", it->first, "'");
   return Status::OK();
@@ -49,7 +47,7 @@ Status Catalog::RegisterIntegration(IntegrationHandle entry) {
 
 Result<const IntegrationHandle*> Catalog::GetIntegration(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   auto it = integrations_.find(name);
   if (it == integrations_.end()) {
     return Status::NotFound("integration '", name, "'");
@@ -58,12 +56,12 @@ Result<const IntegrationHandle*> Catalog::GetIntegration(
 }
 
 bool Catalog::HasIntegration(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   return integrations_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::IntegrationNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(integrations_.size());
   for (const auto& [name, entry] : integrations_) names.push_back(name);
@@ -73,13 +71,13 @@ std::vector<std::string> Catalog::IntegrationNames() const {
 void Catalog::StoreColumnMatches(const std::string& left,
                                  const std::string& right,
                                  std::vector<integration::ColumnMatch> matches) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   column_matches_[{left, right}] = std::move(matches);
 }
 
 Result<const std::vector<integration::ColumnMatch>*> Catalog::GetColumnMatches(
     const std::string& left, const std::string& right) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   auto it = column_matches_.find({left, right});
   if (it == column_matches_.end()) {
     return Status::NotFound("column matches for (", left, ", ", right, ")");
@@ -89,13 +87,13 @@ Result<const std::vector<integration::ColumnMatch>*> Catalog::GetColumnMatches(
 
 void Catalog::StoreRowMatching(const std::string& left, const std::string& right,
                                rel::RowMatching matching) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   row_matchings_[{left, right}] = std::move(matching);
 }
 
 Result<const rel::RowMatching*> Catalog::GetRowMatching(
     const std::string& left, const std::string& right) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   auto it = row_matchings_.find({left, right});
   if (it == row_matchings_.end()) {
     return Status::NotFound("row matching for (", left, ", ", right, ")");
@@ -105,21 +103,21 @@ Result<const rel::RowMatching*> Catalog::GetRowMatching(
 
 Status Catalog::RegisterModel(ModelEntry entry) {
   if (entry.name.empty()) return Status::InvalidArgument("empty model name");
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = models_.try_emplace(entry.name, std::move(entry));
   if (!inserted) return Status::AlreadyExists("model '", it->first, "'");
   return Status::OK();
 }
 
 Result<const ModelEntry*> Catalog::GetModel(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) return Status::NotFound("model '", name, "'");
   return &it->second;
 }
 
 std::vector<std::string> Catalog::ModelNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(models_.size());
   for (const auto& [name, entry] : models_) names.push_back(name);

@@ -2,11 +2,11 @@
 #define AMALUR_CORE_CATALOG_H_
 
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "integration/schema_mapping.h"
 #include "integration/schema_matching.h"
 #include "metadata/di_metadata.h"
@@ -156,12 +156,13 @@ class Catalog {
   using PairKey = std::pair<std::string, std::string>;
 
   /// Guards the maps below (shared: lookups; exclusive: registration).
-  mutable std::shared_mutex mu_;
-  std::map<std::string, SourceEntry> sources_;
-  std::map<std::string, IntegrationHandle> integrations_;
-  std::map<PairKey, std::vector<integration::ColumnMatch>> column_matches_;
-  std::map<PairKey, rel::RowMatching> row_matchings_;
-  std::map<std::string, ModelEntry> models_;
+  mutable common::SharedMutex mu_;
+  std::map<std::string, SourceEntry> sources_ GUARDED_BY(mu_);
+  std::map<std::string, IntegrationHandle> integrations_ GUARDED_BY(mu_);
+  std::map<PairKey, std::vector<integration::ColumnMatch>> column_matches_
+      GUARDED_BY(mu_);
+  std::map<PairKey, rel::RowMatching> row_matchings_ GUARDED_BY(mu_);
+  std::map<std::string, ModelEntry> models_ GUARDED_BY(mu_);
 };
 
 }  // namespace core

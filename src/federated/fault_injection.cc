@@ -17,13 +17,13 @@ bool FaultSchedule::IsDownAt(const std::string& silo, size_t round) const {
 }
 
 void FaultyMessageBus::BeginRound(size_t round) {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  common::MutexLock lock(fault_mu_);
   round_ = round;
 }
 
 void FaultyMessageBus::Reset() {
   {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    common::MutexLock lock(fault_mu_);
     rng_ = Rng(schedule_.seed());
     round_ = 0;
     bytes_wasted_ = 0;
@@ -37,32 +37,32 @@ void FaultyMessageBus::Reset() {
 }
 
 size_t FaultyMessageBus::WastedBytes() const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  common::MutexLock lock(fault_mu_);
   return bytes_wasted_;
 }
 
 size_t FaultyMessageBus::MessagesDropped() const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  common::MutexLock lock(fault_mu_);
   return messages_dropped_;
 }
 
 size_t FaultyMessageBus::MessagesSuppressed() const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  common::MutexLock lock(fault_mu_);
   return messages_suppressed_;
 }
 
 size_t FaultyMessageBus::MessagesDuplicated() const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  common::MutexLock lock(fault_mu_);
   return messages_duplicated_;
 }
 
 bool FaultyMessageBus::IsDown(const std::string& silo) const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  common::MutexLock lock(fault_mu_);
   return schedule_.IsDownAt(silo, round_);
 }
 
 size_t FaultyMessageBus::current_round() const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  common::MutexLock lock(fault_mu_);
   return round_;
 }
 
@@ -90,20 +90,20 @@ FaultyMessageBus::Outcome FaultyMessageBus::ClassifyLocked(
 template <typename Payload>
 void FaultyMessageBus::ApplySendFaults(
     const Channel& channel, Payload payload, size_t payload_bytes,
-    std::map<Channel, std::deque<Delayed<Payload>>>* delayed,
     void (FaultyMessageBus::*enqueue)(const Channel&, Payload)) {
   const size_t wire_bytes = payload_bytes + kEnvelopeBytes;
   Outcome outcome;
   size_t delay_attempts = 0;
   {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    common::MutexLock lock(fault_mu_);
+    auto& delayed = DelayedQueue(static_cast<const Payload*>(nullptr));
     // A send on a channel that still has a delayed message in flight is a
     // retransmission of that message: the original *will* arrive, so the
     // resend is redundant wire traffic — metered as waste, never enqueued
     // (the receiver must not see stale duplicates). No RNG is consumed, so
     // retries cannot shift the fault stream of later messages.
-    auto it = delayed->find(channel);
-    if (it != delayed->end() && !it->second.empty()) {
+    auto it = delayed.find(channel);
+    if (it != delayed.end() && !it->second.empty()) {
       bytes_wasted_ += wire_bytes;
       messages_duplicated_ += 1;
       return;
@@ -118,7 +118,7 @@ void FaultyMessageBus::ApplySendFaults(
         messages_dropped_ += 1;
         return;
       case Outcome::kDelay:
-        (*delayed)[channel].push_back(
+        delayed[channel].push_back(
             Delayed<Payload>{std::move(payload), delay_attempts});
         break;
       case Outcome::kDuplicate:
@@ -142,14 +142,14 @@ void FaultyMessageBus::Send(const std::string& from, const std::string& to,
                            la::DenseMatrix payload) {
   const size_t payload_bytes = DensePayloadBytes(payload);
   ApplySendFaults(Channel{from, to}, std::move(payload), payload_bytes,
-                  &delayed_dense_, &FaultyMessageBus::EnqueueDensePayload);
+                  &FaultyMessageBus::EnqueueDensePayload);
 }
 
 void FaultyMessageBus::SendBytes(const std::string& from, const std::string& to,
                                  std::vector<uint64_t> payload) {
   const size_t payload_bytes = WordPayloadBytes(payload);
   ApplySendFaults(Channel{from, to}, std::move(payload), payload_bytes,
-                  &delayed_words_, &FaultyMessageBus::EnqueueWordPayload);
+                  &FaultyMessageBus::EnqueueWordPayload);
 }
 
 void FaultyMessageBus::SendCiphertextWords(const std::string& from,
@@ -159,14 +159,14 @@ void FaultyMessageBus::SendCiphertextWords(const std::string& from,
       << "ciphertext payloads are (lo, hi) word pairs";
   const size_t payload_bytes = CiphertextPayloadBytes(packed);
   ApplySendFaults(Channel{from, to}, std::move(packed), payload_bytes,
-                  &delayed_words_, &FaultyMessageBus::EnqueueWordPayload);
+                  &FaultyMessageBus::EnqueueWordPayload);
 }
 
 Result<la::DenseMatrix> FaultyMessageBus::Receive(const std::string& from,
                                                   const std::string& to) {
   const Channel channel{from, to};
   {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    common::MutexLock lock(fault_mu_);
     auto it = delayed_dense_.find(channel);
     if (it != delayed_dense_.end() && !it->second.empty()) {
       Delayed<la::DenseMatrix>& head = it->second.front();
@@ -187,7 +187,7 @@ Result<std::vector<uint64_t>> FaultyMessageBus::ReceiveBytes(
     const std::string& from, const std::string& to) {
   const Channel channel{from, to};
   {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    common::MutexLock lock(fault_mu_);
     auto it = delayed_words_.find(channel);
     if (it != delayed_words_.end() && !it->second.empty()) {
       Delayed<std::vector<uint64_t>>& head = it->second.front();

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "federated/message_bus.h"
 #include "la/dense_matrix.h"
@@ -144,17 +144,30 @@ class FaultyMessageBus : public MessageBus {
   };
 
   /// Classifies one send; consumes exactly one RNG draw unless an endpoint
-  /// is crashed. Caller holds `fault_mu_`.
+  /// is crashed.
   Outcome ClassifyLocked(const std::string& from, const std::string& to,
-                         size_t* delay_attempts);
+                         size_t* delay_attempts) REQUIRES(fault_mu_);
 
-  /// Shared send path for all three payload kinds.
+  /// Shared send path for all three payload kinds. Selects the in-flight
+  /// queue for `Payload` under the lock (tag overloads below), so guarded
+  /// state is never passed by reference from an unlocked context.
   template <typename Payload>
   void ApplySendFaults(const Channel& channel, Payload payload,
                        size_t payload_bytes,
-                       std::map<Channel, std::deque<Delayed<Payload>>>* delayed,
                        void (FaultyMessageBus::*enqueue)(const Channel&,
-                                                         Payload));
+                                                         Payload))
+      EXCLUDES(fault_mu_);
+
+  /// Payload-type → delayed-queue member selection (the tag pointer is only
+  /// a compile-time discriminator and is always null).
+  std::map<Channel, std::deque<Delayed<la::DenseMatrix>>>& DelayedQueue(
+      const la::DenseMatrix*) REQUIRES(fault_mu_) {
+    return delayed_dense_;
+  }
+  std::map<Channel, std::deque<Delayed<std::vector<uint64_t>>>>& DelayedQueue(
+      const std::vector<uint64_t>*) REQUIRES(fault_mu_) {
+    return delayed_words_;
+  }
 
   void EnqueueDensePayload(const Channel& channel, la::DenseMatrix payload) {
     EnqueueDense(channel, std::move(payload));
@@ -166,15 +179,17 @@ class FaultyMessageBus : public MessageBus {
 
   FaultSchedule schedule_;
 
-  mutable std::mutex fault_mu_;  // guards everything below
-  Rng rng_;
-  size_t round_ = 0;
-  size_t bytes_wasted_ = 0;
-  size_t messages_dropped_ = 0;
-  size_t messages_suppressed_ = 0;
-  size_t messages_duplicated_ = 0;
-  std::map<Channel, std::deque<Delayed<la::DenseMatrix>>> delayed_dense_;
-  std::map<Channel, std::deque<Delayed<std::vector<uint64_t>>>> delayed_words_;
+  mutable common::Mutex fault_mu_;
+  Rng rng_ GUARDED_BY(fault_mu_);
+  size_t round_ GUARDED_BY(fault_mu_) = 0;
+  size_t bytes_wasted_ GUARDED_BY(fault_mu_) = 0;
+  size_t messages_dropped_ GUARDED_BY(fault_mu_) = 0;
+  size_t messages_suppressed_ GUARDED_BY(fault_mu_) = 0;
+  size_t messages_duplicated_ GUARDED_BY(fault_mu_) = 0;
+  std::map<Channel, std::deque<Delayed<la::DenseMatrix>>> delayed_dense_
+      GUARDED_BY(fault_mu_);
+  std::map<Channel, std::deque<Delayed<std::vector<uint64_t>>>> delayed_words_
+      GUARDED_BY(fault_mu_);
 };
 
 /// How the coordinator reacts when a silo stops answering.

@@ -14,25 +14,25 @@ void MessageBus::AccountLocked(const Channel& channel, size_t payload_bytes) {
 }
 
 void MessageBus::MeterTransfer(const Channel& channel, size_t payload_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   AccountLocked(channel, payload_bytes);
 }
 
 void MessageBus::EnqueueDense(const Channel& channel, la::DenseMatrix payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   dense_queues_[channel].push_back(std::move(payload));
 }
 
 void MessageBus::EnqueueWords(const Channel& channel,
                               std::vector<uint64_t> payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   byte_queues_[channel].push_back(std::move(payload));
 }
 
 void MessageBus::Send(const std::string& from, const std::string& to,
                       la::DenseMatrix payload) {
   const Channel channel{from, to};
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   AccountLocked(channel, DensePayloadBytes(payload));
   dense_queues_[channel].push_back(std::move(payload));
 }
@@ -40,7 +40,7 @@ void MessageBus::Send(const std::string& from, const std::string& to,
 void MessageBus::SendBytes(const std::string& from, const std::string& to,
                            std::vector<uint64_t> payload) {
   const Channel channel{from, to};
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   AccountLocked(channel, WordPayloadBytes(payload));
   byte_queues_[channel].push_back(std::move(payload));
 }
@@ -51,14 +51,14 @@ void MessageBus::SendCiphertextWords(const std::string& from,
   AMALUR_CHECK_EQ(packed.size() % 2, 0u)
       << "ciphertext payloads are (lo, hi) word pairs";
   const Channel channel{from, to};
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   AccountLocked(channel, CiphertextPayloadBytes(packed));
   byte_queues_[channel].push_back(std::move(packed));
 }
 
 Result<la::DenseMatrix> MessageBus::Receive(const std::string& from,
                                             const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = dense_queues_.find({from, to});
   if (it == dense_queues_.end() || it->second.empty()) {
     return Status::NotFound("no pending message on channel ", from, " -> ", to);
@@ -70,7 +70,7 @@ Result<la::DenseMatrix> MessageBus::Receive(const std::string& from,
 
 Result<std::vector<uint64_t>> MessageBus::ReceiveBytes(const std::string& from,
                                                        const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = byte_queues_.find({from, to});
   if (it == byte_queues_.end() || it->second.empty()) {
     return Status::NotFound("no pending bytes on channel ", from, " -> ", to);
@@ -82,23 +82,23 @@ Result<std::vector<uint64_t>> MessageBus::ReceiveBytes(const std::string& from,
 
 TransferStats MessageBus::ChannelStats(const std::string& from,
                                        const std::string& to) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = stats_.find({from, to});
   return it == stats_.end() ? TransferStats{} : it->second;
 }
 
 size_t MessageBus::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return total_bytes_;
 }
 
 size_t MessageBus::TotalMessages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return total_messages_;
 }
 
 void MessageBus::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   dense_queues_.clear();
   byte_queues_.clear();
   stats_.clear();

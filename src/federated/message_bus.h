@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "la/dense_matrix.h"
 
 /// \file message_bus.h
@@ -131,19 +131,24 @@ class MessageBus {
   /// Fault-layer hooks: metering and delivery are split so a derived bus
   /// can meter a payload at send time yet deliver it later (delay faults),
   /// or deliver without re-metering. Each takes the lock itself.
-  void MeterTransfer(const Channel& channel, size_t payload_bytes);
-  void EnqueueDense(const Channel& channel, la::DenseMatrix payload);
-  void EnqueueWords(const Channel& channel, std::vector<uint64_t> payload);
+  void MeterTransfer(const Channel& channel, size_t payload_bytes)
+      EXCLUDES(mu_);
+  void EnqueueDense(const Channel& channel, la::DenseMatrix payload)
+      EXCLUDES(mu_);
+  void EnqueueWords(const Channel& channel, std::vector<uint64_t> payload)
+      EXCLUDES(mu_);
 
  private:
-  void AccountLocked(const Channel& channel, size_t payload_bytes);
+  void AccountLocked(const Channel& channel, size_t payload_bytes)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<Channel, std::deque<la::DenseMatrix>> dense_queues_;
-  std::map<Channel, std::deque<std::vector<uint64_t>>> byte_queues_;
-  std::map<Channel, TransferStats> stats_;
-  size_t total_bytes_ = 0;
-  size_t total_messages_ = 0;
+  mutable common::Mutex mu_;
+  std::map<Channel, std::deque<la::DenseMatrix>> dense_queues_ GUARDED_BY(mu_);
+  std::map<Channel, std::deque<std::vector<uint64_t>>> byte_queues_
+      GUARDED_BY(mu_);
+  std::map<Channel, TransferStats> stats_ GUARDED_BY(mu_);
+  size_t total_bytes_ GUARDED_BY(mu_) = 0;
+  size_t total_messages_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace federated

@@ -1,6 +1,5 @@
 #include "serving/model_registry.h"
 
-#include <mutex>
 #include <utility>
 
 namespace amalur {
@@ -14,7 +13,7 @@ Result<std::shared_ptr<const DeployedModel>> ModelRegistry::Deploy(
   // lose a deploy race; the name check under the lock is authoritative.
   AMALUR_ASSIGN_OR_RETURN(std::shared_ptr<DeployedModel> snapshot,
                           DeployedModel::Create(name, model, options));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (deployments_->count(name) > 0) {
     return Status::AlreadyExists("deployment '", name,
                                  "'; use Redeploy to replace it");
@@ -33,7 +32,7 @@ Result<std::shared_ptr<const DeployedModel>> ModelRegistry::Redeploy(
     const DeployOptions& options) {
   AMALUR_ASSIGN_OR_RETURN(std::shared_ptr<DeployedModel> snapshot,
                           DeployedModel::Create(name, model, options));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = deployments_->find(name);
   if (it == deployments_->end()) {
     return Status::NotFound("deployment '", name, "'");
@@ -46,7 +45,7 @@ Result<std::shared_ptr<const DeployedModel>> ModelRegistry::Redeploy(
 }
 
 Status ModelRegistry::Undeploy(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (deployments_->count(name) == 0) {
     return Status::NotFound("deployment '", name, "'");
   }
@@ -80,7 +79,7 @@ std::vector<std::string> ModelRegistry::DeployedNames() const {
 
 std::shared_ptr<const ModelRegistry::DeploymentMap> ModelRegistry::Snapshot()
     const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::SharedLock lock(mu_);
   return deployments_;
 }
 

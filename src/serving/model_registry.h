@@ -3,11 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serving/deployed_model.h"
 
 /// \file model_registry.h
@@ -67,9 +67,11 @@ class ModelRegistry {
   std::shared_ptr<const DeploymentMap> Snapshot() const;
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable common::SharedMutex mu_;
   /// COW: mutations replace the map wholesale; readers share the old one.
-  std::shared_ptr<const DeploymentMap> deployments_ =
+  /// The *pointer* is what the lock guards — the pointed-to map is immutable
+  /// once published.
+  std::shared_ptr<const DeploymentMap> deployments_ GUARDED_BY(mu_) =
       std::make_shared<const DeploymentMap>();
 };
 

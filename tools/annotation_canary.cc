@@ -1,0 +1,38 @@
+// Negative compile test for the thread-safety gate.
+//
+// This file reads a GUARDED_BY field without holding its mutex — under a
+// compiler that understands the annotations (Clang with -Wthread-safety) it
+// MUST NOT compile. CMake registers a ctest entry that builds this target
+// and is marked WILL_FAIL: if the build ever *succeeds* under such a
+// compiler, the gate has rotted (annotations stripped, flags dropped, or the
+// wrappers lost their capability attributes) and the test suite says so.
+//
+// Never add this file to the library; it is referenced only by the
+// `annotation_canary` object target.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Canary {
+ public:
+  // Deliberate violation: `value_` requires `mu_`, which is not held.
+  int ReadWithoutLock() { return value_; }
+
+  // The disciplined twin, so the file documents both sides of the idiom.
+  int ReadWithLock() {
+    amalur::common::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  amalur::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int CanaryEntry() {
+  Canary canary;
+  return canary.ReadWithoutLock() + canary.ReadWithLock();
+}

@@ -1,0 +1,8 @@
+// Exempt file: the wrappers themselves are allowed to touch the raw
+// primitives.
+#include <mutex>
+namespace fixture {
+class Mutex {
+  std::mutex mu_;
+};
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Mentions of std::mutex or rand() in comments must not fire, and neither
+// must quoted ones.
+#include <string>
+const char* kDoc = "never call rand() or take a std::mutex here";
+int Lookup(int x) { return x + 1; }

@@ -1,0 +1,9 @@
+#include <unordered_map>
+#include <vector>
+// Unordered lookups are fine in kernels; only iteration is banned.
+double SumBy(const std::vector<int>& keys) {
+  std::unordered_map<int, double> index;
+  double sum = 0.0;
+  for (int key : keys) sum += index.count(key) ? index[key] : 0.0;
+  return sum;
+}

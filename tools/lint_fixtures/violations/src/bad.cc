@@ -1,0 +1,9 @@
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+std::mutex raw_mu;
+void Nap() {
+  std::lock_guard<std::mutex> lock(raw_mu);
+  std::this_thread::sleep_for(std::chrono::milliseconds(rand() % 10));
+}

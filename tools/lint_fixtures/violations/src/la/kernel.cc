@@ -1,0 +1,7 @@
+#include <unordered_map>
+double Reduce() {
+  std::unordered_map<int, double> cells;
+  double sum = 0.0;
+  for (const auto& kv : cells) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,1 @@
+int Helper() { return 42; }

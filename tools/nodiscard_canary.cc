@@ -1,0 +1,27 @@
+// Negative compile test for the [[nodiscard]] Status gate.
+//
+// This file drops a returned `Status` on the floor. It is compiled with
+// -Werror=unused-result (any compiler), so it MUST NOT compile; the ctest
+// entry building it is marked WILL_FAIL. If this ever compiles, `Status`
+// lost its [[nodiscard]] and silent error-dropping is back — exactly the
+// regression the gate exists to prevent.
+//
+// Never add this file to the library; it is referenced only by the
+// `nodiscard_canary` object target.
+
+#include "common/status.h"
+
+namespace {
+
+amalur::Status MightFail() { return amalur::Status::Internal("dropped"); }
+
+amalur::Result<int> MightFailWithValue() {
+  return amalur::Status::Internal("also dropped");
+}
+
+}  // namespace
+
+void DiscardsStatus() {
+  MightFail();           // deliberate violation: Status discarded
+  MightFailWithValue();  // deliberate violation: Result discarded
+}
