@@ -20,7 +20,9 @@
 #include "bench/bench_util.h"
 #include "core/amalur.h"
 #include "cost/amalur_cost_model.h"
+#include "cost/calibrator.h"
 #include "cost/cost_features.h"
+#include "cost/observation_log.h"
 #include "relational/generator.h"
 
 namespace {
@@ -231,10 +233,12 @@ struct Measurement {
   std::string shape;
   double factorized_seconds = 0.0;
   double materialized_seconds = 0.0;
-  std::string measured;   // measured winner
-  std::string predicted;  // optimizer's choice
+  std::string measured;              // measured winner
+  std::string predicted;             // optimizer's choice, analytic defaults
+  std::string predicted_calibrated;  // optimizer's choice, fitted constants
   size_t target_rows = 0;
   size_t target_cols = 0;
+  cost::CostFeatures features;
 };
 
 void WriteJson(const std::vector<Measurement>& measurements,
@@ -251,13 +255,13 @@ void WriteJson(const std::vector<Measurement>& measurements,
                  "  {\"scenario\": \"%s\", \"shape\": \"%s\", "
                  "\"factorized_seconds\": %.6f, \"materialized_seconds\": "
                  "%.6f, \"speedup\": %.3f, \"measured\": \"%s\", "
-                 "\"predicted\": \"%s\", \"target_rows\": %zu, "
-                 "\"target_cols\": %zu}%s\n",
+                 "\"predicted\": \"%s\", \"predicted_calibrated\": \"%s\", "
+                 "\"target_rows\": %zu, \"target_cols\": %zu}%s\n",
                  m.scenario.c_str(), m.shape.c_str(), m.factorized_seconds,
                  m.materialized_seconds,
                  m.materialized_seconds / std::max(m.factorized_seconds, 1e-12),
-                 m.measured.c_str(), m.predicted.c_str(), m.target_rows,
-                 m.target_cols,
+                 m.measured.c_str(), m.predicted.c_str(),
+                 m.predicted_calibrated.c_str(), m.target_rows, m.target_cols,
                  i + 1 < measurements.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
@@ -269,6 +273,7 @@ void WriteJson(const std::vector<Measurement>& measurements,
 int main() {
   const bool smoke = bench::SmokeMode();
   const size_t kIterations = smoke ? 5 : 20;
+  const size_t kAltIterations = smoke ? 2 : 5;
   const size_t kRepeats = smoke ? 1 : 3;
   cost::AmalurCostModelOptions options;
   options.training_iterations = static_cast<double>(kIterations);
@@ -299,6 +304,24 @@ int main() {
 
     const metadata::DiMetadata& md = scenario.integration.metadata;
     const cost::CostFeatures features = cost::CostFeatures::FromMetadata(md);
+    bench::LogObservation(features, kIterations,
+                          {fact_seconds, mat_seconds}, scenario.slug);
+    // Second, shorter training horizon, logged for calibration only: the
+    // materialization cost is a one-time cost amortized over iterations, so
+    // a log where every observation shares one horizon cannot separate the
+    // per-iteration constants from the one-time ones (the calibrator
+    // rejects it as rank-deficient).
+    core::TrainRequest alt_request = request;
+    alt_request.gd.iterations = kAltIterations;
+    bench::LogObservation(
+        features, kAltIterations,
+        {MedianTrainSeconds(scenario.system.get(), scenario.integration,
+                            alt_request, core::ExecutionStrategy::kFactorize,
+                            kRepeats),
+         MedianTrainSeconds(scenario.system.get(), scenario.integration,
+                            alt_request, core::ExecutionStrategy::kMaterialize,
+                            kRepeats)},
+        scenario.slug + "_short_horizon");
     Measurement m;
     m.scenario = scenario.slug;
     m.shape = metadata::IntegrationShapeToString(md.shape());
@@ -310,6 +333,7 @@ int main() {
     m.predicted = cost::StrategyToString(model.Decide(features));
     m.target_rows = md.target_rows();
     m.target_cols = md.target_cols();
+    m.features = features;
     measurements.push_back(m);
 
     char shape[32];
@@ -321,6 +345,50 @@ int main() {
                 m.measured.c_str(), m.predicted.c_str(), shape,
                 m.shape.c_str());
   }
+
+  // Calibration pass: fit the cost-model constants to the observation log
+  // this run just extended, persist them for the optimizer
+  // ($AMALUR_CALIBRATION_FILE / TrainRequest::calibration_file), and
+  // re-predict every scenario — the before/after decision map is the whole
+  // point of the calibration loop.
+  const cost::Calibration calibration =
+      cost::Calibrator(options).CalibrateFromLog(
+          cost::ObservationLog::DefaultPath());
+  std::printf("\nCalibration: %s\n", calibration.source.c_str());
+  // Written even on fallback: the file then carries the (positive, valid)
+  // analytic defaults with the fallback reason in its source field, so the
+  // CI artifact always exists and always says where its constants came from.
+  const Status status =
+      cost::WriteCalibrationFile("CALIBRATION.json", calibration);
+  if (status.ok()) {
+    std::printf("Wrote CALIBRATION.json (flop_cost=%.3e, "
+                "factorized_cell_cost=%.3f, materialize_cell_cost=%.3e, "
+                "factorized_row_overhead=%.3e)\n",
+                calibration.options.flop_cost,
+                calibration.options.factorized_cell_cost,
+                calibration.options.materialize_cell_cost,
+                calibration.options.factorized_row_overhead);
+  } else {
+    std::fprintf(stderr, "CALIBRATION.json: %s\n", status.ToString().c_str());
+  }
+
+  cost::AmalurCostModel calibrated_model(calibration.options);
+  size_t default_wrong = 0, calibrated_wrong = 0;
+  std::printf("\n%-20s %9s %9s %11s\n", "decision map", "measured", "default",
+              "calibrated");
+  for (Measurement& m : measurements) {
+    m.predicted_calibrated =
+        cost::StrategyToString(calibrated_model.Decide(m.features));
+    default_wrong += m.predicted != m.measured ? 1 : 0;
+    calibrated_wrong += m.predicted_calibrated != m.measured ? 1 : 0;
+    std::printf("%-20s %9s %9s %11s%s\n", m.scenario.c_str(),
+                m.measured.c_str(), m.predicted.c_str(),
+                m.predicted_calibrated.c_str(),
+                m.predicted_calibrated == m.measured ? "" : "  <- MISPREDICT");
+  }
+  std::printf("Mispredictions: default %zu/%zu, calibrated %zu/%zu\n",
+              default_wrong, measurements.size(), calibrated_wrong,
+              measurements.size());
 
   WriteJson(measurements, "BENCH_table1.json");
   std::printf(

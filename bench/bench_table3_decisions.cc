@@ -75,6 +75,11 @@ QuadrantResult RunQuadrant(bool source_redundancy, bool target_redundancy) {
 
       const bench::StrategyTiming timing =
           bench::MeasureTraining(*metadata, iterations);
+      char cell_name[64];
+      std::snprintf(cell_name, sizeof(cell_name),
+                    "table3_rs1_%zu_it%zu_src%d_tgt%d", rs1, iterations,
+                    source_redundancy ? 1 : 0, target_redundancy ? 1 : 0);
+      bench::LogObservation(features, iterations, timing, cell_name);
       const cost::Strategy truth = timing.Winner();
       result.total += 1;
       result.amalur_correct += amalur_model.Decide(features) == truth ? 1 : 0;

@@ -2,13 +2,16 @@
 #define AMALUR_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "cost/cost_features.h"
+#include "cost/observation_log.h"
 #include "factorized/factorized_table.h"
 #include "factorized/scenario_builder.h"
 #include "metadata/di_metadata.h"
@@ -96,6 +99,25 @@ inline StrategyTiming MeasureTraining(const metadata::DiMetadata& metadata,
   std::sort(fact.begin(), fact.end());
   std::sort(mat.begin(), mat.end());
   return {fact[fact.size() / 2], mat[mat.size() / 2]};
+}
+
+/// Feeds one both-strategies measurement into the calibration loop: appends
+/// a `(features, timing)` record to the observation log at
+/// `ObservationLog::DefaultPath()` ($AMALUR_OBSERVATION_LOG, else
+/// observations.jsonl in the working directory). Every harness that
+/// measures both strategies routes through this, so any bench run grows the
+/// calibration data. Logging failures are reported, never fatal — a
+/// read-only working directory must not kill a measurement run.
+inline void LogObservation(const cost::CostFeatures& features,
+                           size_t iterations, const StrategyTiming& timing,
+                           const std::string& scenario) {
+  cost::ObservationLog log(cost::ObservationLog::DefaultPath());
+  const Status status = log.Append(cost::Observation::FromFeatures(
+      features, static_cast<double>(iterations), timing.factorized_seconds,
+      timing.materialized_seconds, scenario));
+  if (!status.ok()) {
+    std::fprintf(stderr, "observation log: %s\n", status.ToString().c_str());
+  }
 }
 
 }  // namespace bench

@@ -667,7 +667,18 @@ Plan Amalur::Explain(const IntegrationHandle& integration) const {
 Result<ModelHandle> Amalur::Train(const IntegrationHandle& integration,
                                   const TrainRequest& request,
                                   const std::string& model_name) {
-  Plan plan = Explain(integration);
+  Plan plan;
+  if (!request.calibration_file.empty()) {
+    // Per-request constants: the named fitted-constants file overrides the
+    // facade's resolved options for this plan only (falling back to them,
+    // reason included, when it cannot be loaded).
+    const cost::Calibration calibration =
+        cost::ResolveCalibration(options_.cost, request.calibration_file);
+    plan = Optimizer(calibration)
+               .Choose(integration.metadata, integration.privacy_constrained);
+  } else {
+    plan = Explain(integration);
+  }
   if (request.force_strategy.has_value()) {
     if (integration.privacy_constrained &&
         *request.force_strategy != ExecutionStrategy::kFederate) {

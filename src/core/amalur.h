@@ -11,6 +11,7 @@
 #include "core/integration_graph.h"
 #include "core/optimizer.h"
 #include "cost/amalur_cost_model.h"
+#include "cost/calibrator.h"
 #include "integration/entity_resolution.h"
 #include "integration/schema_matching.h"
 #include "metadata/di_metadata.h"
@@ -249,7 +250,15 @@ class ModelHandle {
 /// The system facade.
 class Amalur {
  public:
-  explicit Amalur(AmalurOptions options = {}) : options_(options) {}
+  /// Cost-model constants are resolved once per instance: a fitted-constants
+  /// file named by `$AMALUR_CALIBRATION_FILE` overrides the analytic
+  /// defaults (or the caller's `options.cost` constants), falling back to
+  /// them — with the reason surfaced in every plan explanation — when the
+  /// file is missing or malformed. A per-request
+  /// `TrainRequest::calibration_file` overrides both for one `Train` call.
+  explicit Amalur(AmalurOptions options = {}) : options_(std::move(options)) {
+    options_.cost = cost::ResolveCalibration(options_.cost).options;
+  }
 
   Catalog* catalog() { return &catalog_; }
   const Catalog& catalog() const { return catalog_; }

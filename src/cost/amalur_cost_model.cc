@@ -91,14 +91,19 @@ std::string AmalurCostModel::Explain(const CostFeatures& features) const {
     out << "tgd prescreen (full tgds, rT=" << features.target_rows
         << " ≤ Σ rS, target cells ≤ source cells) -> "
         << StrategyToString(estimate.Decision());
-    return out.str();
+  } else {
+    out << "factorized=" << estimate.factorized_cost
+        << " vs materialized=" << estimate.materialized_cost << " ("
+        << MaterializationCost(features) << " one-time + "
+        << options_.training_iterations << " x "
+        << MaterializedIterationCost(features) << ") -> "
+        << StrategyToString(estimate.Decision());
   }
-  out << "factorized=" << estimate.factorized_cost
-      << " vs materialized=" << estimate.materialized_cost << " ("
-      << MaterializationCost(features) << " one-time + "
-      << options_.training_iterations << " x "
-      << MaterializedIterationCost(features) << ") -> "
-      << StrategyToString(estimate.Decision());
+  // Every explanation names the constants' provenance so plans answer
+  // "did calibrated or default constants decide this?" directly.
+  out << "; constants: "
+      << (options_.calibrated ? "calibrated (" + options_.constants_source + ")"
+                              : options_.constants_source);
   return out.str();
 }
 

@@ -47,6 +47,14 @@ struct AmalurCostModelOptions {
   /// horizon's per-iteration work. Near the boundary the analytical model
   /// decides instead.
   double prescreen_amortization_limit = 0.5;
+  /// Provenance of the four per-op constants above, surfaced through
+  /// `Explain` (and therefore every optimizer `Plan.explanation`): false
+  /// means the analytic defaults decided; true means the constants were
+  /// fitted from measured observations (see cost/calibrator.h).
+  bool calibrated = false;
+  /// Human-readable provenance, e.g. "analytic defaults" or "fitted from 7
+  /// observations in 'observations.jsonl'".
+  std::string constants_source = "analytic defaults";
 };
 
 /// A priced pair of strategies.
@@ -56,7 +64,14 @@ struct CostEstimate {
   /// True when the tgd prescreen decided without the analytical model.
   bool decided_by_logic_rule = false;
 
+  /// The cheaper strategy. The tie-break is explicit and deliberate: an
+  /// exact price tie materializes, because equal estimates mean
+  /// factorization has no predicted advantage and the materialized plan is
+  /// the structurally simpler one (straight dense kernels, no
+  /// gather/scatter bookkeeping, and every downstream consumer — serving,
+  /// export — can reuse the built target).
   Strategy Decision() const {
+    if (factorized_cost == materialized_cost) return Strategy::kMaterialize;
     return factorized_cost < materialized_cost ? Strategy::kFactorize
                                                : Strategy::kMaterialize;
   }

@@ -1,0 +1,68 @@
+#ifndef AMALUR_COST_JSON_LITE_H_
+#define AMALUR_COST_JSON_LITE_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// \file json_lite.h
+/// The few JSON primitives the calibration loop needs: round-trippable
+/// double formatting and key lookup in *flat* one-object documents (the
+/// observation-log lines and the fitted-constants file). Deliberately not a
+/// general JSON parser — the formats are fixed, flat and written by this
+/// repo, and a tolerant scanner keeps corrupt-input handling trivial.
+
+namespace amalur {
+namespace cost {
+namespace json_lite {
+
+/// Shortest round-trippable formatting of an IEEE binary64 (%.17g): a value
+/// written with this and re-parsed with `strtod` recovers the exact bits.
+inline std::string FormatDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Extracts the numeric value of `"key": <number>` from a flat JSON object.
+/// Returns false when the key is absent or its value is not a finite number.
+inline bool FindNumber(const std::string& text, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\"";
+  size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  at = text.find(':', at + needle.size());
+  if (at == std::string::npos) return false;
+  const char* start = text.c_str() + at + 1;
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+/// Extracts the string value of `"key": "<text>"`. Escapes are not
+/// interpreted (the values are plain labels); a backslash fails the lookup
+/// rather than silently mangling the value.
+inline bool FindString(const std::string& text, const char* key,
+                       std::string* out) {
+  const std::string needle = std::string("\"") + key + "\"";
+  size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  at = text.find(':', at + needle.size());
+  if (at == std::string::npos) return false;
+  const size_t open = text.find('"', at + 1);
+  if (open == std::string::npos) return false;
+  const size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  const std::string value = text.substr(open + 1, close - open - 1);
+  if (value.find('\\') != std::string::npos) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace json_lite
+}  // namespace cost
+}  // namespace amalur
+
+#endif  // AMALUR_COST_JSON_LITE_H_

@@ -1,0 +1,129 @@
+#include "cost/observation_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "cost/json_lite.h"
+
+namespace amalur {
+namespace cost {
+
+using json_lite::FindNumber;
+using json_lite::FindString;
+using json_lite::FormatDouble;
+
+Observation Observation::FromFeatures(const CostFeatures& features,
+                                      double training_iterations,
+                                      double factorized_seconds,
+                                      double materialized_seconds,
+                                      std::string scenario, double rhs_cols) {
+  Observation observation;
+  observation.scenario = std::move(scenario);
+  observation.training_iterations = training_iterations;
+  observation.rhs_cols = rhs_cols;
+  for (const SourceFeatures& s : features.sources) {
+    observation.compute_cells +=
+        static_cast<double>(s.compute_cells) * (1.0 - s.null_ratio);
+    observation.expansion_rows += static_cast<double>(s.contributed_rows);
+  }
+  observation.target_cells = static_cast<double>(features.TargetCells());
+  observation.factorized_seconds = factorized_seconds;
+  observation.materialized_seconds = materialized_seconds;
+  return observation;
+}
+
+std::string Observation::ToJsonLine() const {
+  std::ostringstream out;
+  out << "{\"scenario\": \"" << scenario << "\""
+      << ", \"training_iterations\": " << FormatDouble(training_iterations)
+      << ", \"rhs_cols\": " << FormatDouble(rhs_cols)
+      << ", \"compute_cells\": " << FormatDouble(compute_cells)
+      << ", \"expansion_rows\": " << FormatDouble(expansion_rows)
+      << ", \"target_cells\": " << FormatDouble(target_cells)
+      << ", \"factorized_seconds\": " << FormatDouble(factorized_seconds)
+      << ", \"materialized_seconds\": " << FormatDouble(materialized_seconds)
+      << "}";
+  return out.str();
+}
+
+Result<Observation> Observation::FromJsonLine(const std::string& line) {
+  const size_t first = line.find_first_not_of(" \t\r");
+  const size_t last = line.find_last_not_of(" \t\r");
+  if (first == std::string::npos || line[first] != '{' || line[last] != '}') {
+    return Status::InvalidArgument(
+        "observation line is not a complete JSON object (truncated write?)");
+  }
+  Observation observation;
+  if (!FindString(line, "scenario", &observation.scenario)) {
+    return Status::InvalidArgument("observation line: bad 'scenario' field");
+  }
+  struct Field {
+    const char* key;
+    double* slot;
+  };
+  const Field fields[] = {
+      {"training_iterations", &observation.training_iterations},
+      {"rhs_cols", &observation.rhs_cols},
+      {"compute_cells", &observation.compute_cells},
+      {"expansion_rows", &observation.expansion_rows},
+      {"target_cells", &observation.target_cells},
+      {"factorized_seconds", &observation.factorized_seconds},
+      {"materialized_seconds", &observation.materialized_seconds},
+  };
+  for (const Field& field : fields) {
+    if (!FindNumber(line, field.key, field.slot)) {
+      return Status::InvalidArgument("observation line: missing or non-finite '",
+                                     field.key, "' field");
+    }
+  }
+  return observation;
+}
+
+Status ObservationLog::Append(const Observation& observation) {
+  const std::string line = observation.ToJsonLine();
+  common::MutexLock lock(mu_);
+  std::FILE* file = std::fopen(path_.c_str(), "a");
+  if (file == nullptr) {
+    return Status::IOError("cannot open observation log '", path_,
+                           "' for append");
+  }
+  const bool wrote =
+      std::fputs(line.c_str(), file) >= 0 && std::fputc('\n', file) != EOF;
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    return Status::IOError("short write to observation log '", path_, "'");
+  }
+  return Status::OK();
+}
+
+Result<ObservationLogContents> ObservationLog::Read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("observation log '", path, "' does not exist");
+  }
+  ObservationLogContents contents;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<Observation> parsed = Observation::FromJsonLine(line);
+    if (parsed.ok()) {
+      contents.observations.push_back(*std::move(parsed));
+    } else {
+      // A corrupt or truncated line (killed writer, partial flush) must not
+      // poison the rest of the log: skip it, count it, keep reading.
+      contents.skipped_lines += 1;
+    }
+  }
+  return contents;
+}
+
+std::string ObservationLog::DefaultPath() {
+  const char* env = std::getenv(kObservationLogEnvVar);
+  if (env != nullptr && env[0] != '\0') return env;
+  return "observations.jsonl";
+}
+
+}  // namespace cost
+}  // namespace amalur

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/amalur.h"
+#include "cost/calibrator.h"
 #include "factorized/scenario_builder.h"
 #include "integration/running_example.h"
 #include "relational/generator.h"
@@ -178,6 +179,60 @@ TEST(AmalurTest, FactorizedAndMaterializedAgreeEndToEnd) {
   EXPECT_EQ(mat->outcome().strategy_used, ExecutionStrategy::kMaterialize);
   // The forced plan records both the override and the optimizer's estimate.
   EXPECT_NE(amalur.Explain(*fact).explanation.find("forced"),
+            std::string::npos);
+}
+
+TEST(AmalurTest, TrainRequestCalibrationFileDrivesThePlan) {
+  rel::SiloPairSpec spec;
+  spec.kind = rel::JoinKind::kLeftJoin;
+  spec.base_rows = 150;
+  spec.other_rows = 30;
+  spec.base_features = 2;
+  spec.other_features = 5;
+  spec.seed = 78;
+  rel::SiloPair pair = rel::GenerateSiloPair(spec);
+
+  Amalur amalur;
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S1", pair.base, "silo1", false}).ok());
+  ASSERT_TRUE(
+      amalur.catalog()->RegisterSource({"S2", pair.other, "silo2", false}).ok());
+  auto integration = amalur.Integrate("S1", "S2", rel::JoinKind::kLeftJoin);
+  ASSERT_TRUE(integration.ok()) << integration.status();
+
+  // A calibration that prices factorization out entirely: the per-request
+  // knob must override the facade's constants, flip the plan to materialize
+  // and disclose the file's provenance in the explanation.
+  cost::Calibration calibration;
+  calibration.calibrated = true;
+  calibration.source = "request-knob-constants";
+  calibration.options.flop_cost = 1e-9;
+  calibration.options.factorized_cell_cost = 1e6;
+  calibration.options.materialize_cell_cost = 1e-12;
+  calibration.options.factorized_row_overhead = 0.0;
+  const std::string path = ::testing::TempDir() + "facade_calibration.json";
+  ASSERT_TRUE(cost::WriteCalibrationFile(path, calibration).ok());
+
+  TrainRequest request;
+  request.label_column = "y";
+  request.gd.iterations = 10;
+  request.gd.learning_rate = 0.05;
+  request.calibration_file = path;
+  auto model = amalur.Train(*integration, request);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->outcome().strategy_used, ExecutionStrategy::kMaterialize);
+  const Plan plan = amalur.Explain(*model);
+  EXPECT_NE(plan.explanation.find("calibrated"), std::string::npos)
+      << plan.explanation;
+  EXPECT_NE(plan.explanation.find("request-knob-constants"), std::string::npos)
+      << plan.explanation;
+
+  // An unreadable calibration file never breaks training: the plan falls
+  // back to the facade's constants and says why.
+  request.calibration_file = ::testing::TempDir() + "no_such_calibration.json";
+  auto fallback = amalur.Train(*integration, request);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  EXPECT_NE(amalur.Explain(*fallback).explanation.find("analytic defaults"),
             std::string::npos);
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cost/amalur_cost_model.h"
 #include "cost/cost_features.h"
 #include "cost/morpheus_heuristic.h"
@@ -206,6 +208,20 @@ TEST(AmalurCostModelTest, ExplainShowsBreakdown) {
   EXPECT_NE(text.find("factorized="), std::string::npos);
   const std::string pruned = model.Explain(FeaturesFor(NoRedundancySpec()));
   EXPECT_NE(pruned.find("prescreen"), std::string::npos);
+}
+
+TEST(AmalurCostModelTest, ExactCostTieMaterializes) {
+  // The documented tie-break: an exact cost tie materializes — the simpler
+  // plan (no indicator bookkeeping at train time) wins when the model sees
+  // no advantage either way. Pinned so the comparison can never silently
+  // drift to "ties factorize".
+  CostEstimate tie;
+  tie.factorized_cost = 123.0;
+  tie.materialized_cost = 123.0;
+  EXPECT_EQ(tie.Decision(), Strategy::kMaterialize);
+  // One ulp below the tie and factorization is strictly cheaper again.
+  tie.factorized_cost = std::nextafter(123.0, 0.0);
+  EXPECT_EQ(tie.Decision(), Strategy::kFactorize);
 }
 
 TEST(StrategyTest, Names) {
