@@ -1,10 +1,11 @@
-#ifndef AMALUR_COMMON_LOGGING_H_
-#define AMALUR_COMMON_LOGGING_H_
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+
+#include "common/status.h"
 
 /// \file logging.h
 /// Minimal leveled logging plus fatal-check macros, modelled on Arrow's
@@ -71,5 +72,3 @@ inline void SetLogLevel(LogLevel level) { internal::SetLogThreshold(level); }
 #define AMALUR_CHECK_LE(a, b) AMALUR_CHECK((a) <= (b))
 #define AMALUR_CHECK_GT(a, b) AMALUR_CHECK((a) > (b))
 #define AMALUR_CHECK_GE(a, b) AMALUR_CHECK((a) >= (b))
-
-#endif  // AMALUR_COMMON_LOGGING_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_PARALLEL_FOR_H_
-#define AMALUR_COMMON_PARALLEL_FOR_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -81,5 +80,3 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
 
 }  // namespace common
 }  // namespace amalur
-
-#endif  // AMALUR_COMMON_PARALLEL_FOR_H_

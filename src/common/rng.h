@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_RNG_H_
-#define AMALUR_COMMON_RNG_H_
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -120,5 +119,3 @@ class Rng {
 };
 
 }  // namespace amalur
-
-#endif  // AMALUR_COMMON_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_SPAN_H_
-#define AMALUR_COMMON_SPAN_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -49,5 +48,3 @@ class Span {
 
 }  // namespace common
 }  // namespace amalur
-
-#endif  // AMALUR_COMMON_SPAN_H_

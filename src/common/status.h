@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_STATUS_H_
-#define AMALUR_COMMON_STATUS_H_
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -197,5 +196,3 @@ class [[nodiscard]] Result {
   auto result_name = (expr);                                 \
   if (!result_name.ok()) return result_name.status();        \
   lhs = std::move(result_name).ValueOrDie()  // NOLINT(bugprone-macro-parentheses)
-
-#endif  // AMALUR_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_STOPWATCH_H_
-#define AMALUR_COMMON_STOPWATCH_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -34,5 +33,3 @@ class Stopwatch {
 };
 
 }  // namespace amalur
-
-#endif  // AMALUR_COMMON_STOPWATCH_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_STRING_UTIL_H_
-#define AMALUR_COMMON_STRING_UTIL_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -45,5 +44,3 @@ std::string CanonicalizeIdentifier(std::string_view name);
 std::string FormatDouble(double value, int digits);
 
 }  // namespace amalur
-
-#endif  // AMALUR_COMMON_STRING_UTIL_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_THREAD_ANNOTATIONS_H_
-#define AMALUR_COMMON_THREAD_ANNOTATIONS_H_
+#pragma once
 
 #include <condition_variable>
 #include <mutex>
@@ -205,5 +204,3 @@ class CondVar {
 
 }  // namespace common
 }  // namespace amalur
-
-#endif  // AMALUR_COMMON_THREAD_ANNOTATIONS_H_

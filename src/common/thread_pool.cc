@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "common/thread_annotations.h"
+
 namespace amalur {
 namespace common {
 

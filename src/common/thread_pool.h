@@ -1,5 +1,4 @@
-#ifndef AMALUR_COMMON_THREAD_POOL_H_
-#define AMALUR_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -68,5 +67,3 @@ class ThreadPool {
 
 }  // namespace common
 }  // namespace amalur
-
-#endif  // AMALUR_COMMON_THREAD_POOL_H_

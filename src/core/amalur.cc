@@ -4,6 +4,7 @@
 #include <memory>
 #include <set>
 
+#include "common/status.h"
 #include "common/string_util.h"
 #include "factorized/factorized_table.h"
 #include "ml/linear_models.h"

@@ -1,5 +1,4 @@
-#ifndef AMALUR_CORE_AMALUR_H_
-#define AMALUR_CORE_AMALUR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -332,5 +331,3 @@ class Amalur {
 
 }  // namespace core
 }  // namespace amalur
-
-#endif  // AMALUR_CORE_AMALUR_H_

@@ -1,5 +1,8 @@
 #include "core/catalog.h"
 
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
 namespace amalur {
 namespace core {
 

@@ -1,5 +1,4 @@
-#ifndef AMALUR_CORE_CATALOG_H_
-#define AMALUR_CORE_CATALOG_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -167,5 +166,3 @@ class Catalog {
 
 }  // namespace core
 }  // namespace amalur
-
-#endif  // AMALUR_CORE_CATALOG_H_

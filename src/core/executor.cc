@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "ml/training_matrix.h"

@@ -1,5 +1,4 @@
-#ifndef AMALUR_CORE_EXECUTOR_H_
-#define AMALUR_CORE_EXECUTOR_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -129,5 +128,3 @@ class Executor {
 
 }  // namespace core
 }  // namespace amalur
-
-#endif  // AMALUR_CORE_EXECUTOR_H_

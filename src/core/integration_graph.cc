@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "common/status.h"
+
 namespace amalur {
 namespace core {
 

@@ -1,5 +1,4 @@
-#ifndef AMALUR_CORE_INTEGRATION_GRAPH_H_
-#define AMALUR_CORE_INTEGRATION_GRAPH_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -53,5 +52,3 @@ Result<IntegrationGraphPlan> PlanIntegrationGraph(
 
 }  // namespace core
 }  // namespace amalur
-
-#endif  // AMALUR_CORE_INTEGRATION_GRAPH_H_

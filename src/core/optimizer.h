@@ -1,5 +1,4 @@
-#ifndef AMALUR_CORE_OPTIMIZER_H_
-#define AMALUR_CORE_OPTIMIZER_H_
+#pragma once
 
 #include <string>
 
@@ -64,5 +63,3 @@ class Optimizer {
 
 }  // namespace core
 }  // namespace amalur
-
-#endif  // AMALUR_CORE_OPTIMIZER_H_

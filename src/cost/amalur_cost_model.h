@@ -1,5 +1,4 @@
-#ifndef AMALUR_COST_AMALUR_COST_MODEL_H_
-#define AMALUR_COST_AMALUR_COST_MODEL_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -114,5 +113,3 @@ class AmalurCostModel {
 
 }  // namespace cost
 }  // namespace amalur
-
-#endif  // AMALUR_COST_AMALUR_COST_MODEL_H_

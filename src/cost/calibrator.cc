@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/status.h"
 #include "cost/json_lite.h"
 
 namespace amalur {

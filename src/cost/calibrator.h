@@ -1,5 +1,4 @@
-#ifndef AMALUR_COST_CALIBRATOR_H_
-#define AMALUR_COST_CALIBRATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -106,5 +105,3 @@ inline constexpr char kCalibrationFileEnvVar[] = "AMALUR_CALIBRATION_FILE";
 
 }  // namespace cost
 }  // namespace amalur
-
-#endif  // AMALUR_COST_CALIBRATOR_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COST_COST_FEATURES_H_
-#define AMALUR_COST_COST_FEATURES_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -88,5 +87,3 @@ struct CostFeatures {
 
 }  // namespace cost
 }  // namespace amalur
-
-#endif  // AMALUR_COST_COST_FEATURES_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COST_JSON_LITE_H_
-#define AMALUR_COST_JSON_LITE_H_
+#pragma once
 
 #include <cmath>
 #include <cstdio>
@@ -64,5 +63,3 @@ inline bool FindString(const std::string& text, const char* key,
 }  // namespace json_lite
 }  // namespace cost
 }  // namespace amalur
-
-#endif  // AMALUR_COST_JSON_LITE_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COST_MORPHEUS_HEURISTIC_H_
-#define AMALUR_COST_MORPHEUS_HEURISTIC_H_
+#pragma once
 
 #include <string>
 
@@ -40,5 +39,3 @@ class MorpheusHeuristic {
 
 }  // namespace cost
 }  // namespace amalur
-
-#endif  // AMALUR_COST_MORPHEUS_HEURISTIC_H_

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/status.h"
+#include "common/thread_annotations.h"
 #include "cost/json_lite.h"
 
 namespace amalur {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_COST_OBSERVATION_LOG_H_
-#define AMALUR_COST_OBSERVATION_LOG_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -108,5 +107,3 @@ inline constexpr char kObservationLogEnvVar[] = "AMALUR_OBSERVATION_LOG";
 
 }  // namespace cost
 }  // namespace amalur
-
-#endif  // AMALUR_COST_OBSERVATION_LOG_H_

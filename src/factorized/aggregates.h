@@ -1,5 +1,4 @@
-#ifndef AMALUR_FACTORIZED_AGGREGATES_H_
-#define AMALUR_FACTORIZED_AGGREGATES_H_
+#pragma once
 
 #include <functional>
 
@@ -45,5 +44,3 @@ Result<double> MaxColumn(const metadata::DiMetadata& metadata,
 
 }  // namespace factorized
 }  // namespace amalur
-
-#endif  // AMALUR_FACTORIZED_AGGREGATES_H_

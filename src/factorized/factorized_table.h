@@ -1,5 +1,4 @@
-#ifndef AMALUR_FACTORIZED_FACTORIZED_TABLE_H_
-#define AMALUR_FACTORIZED_FACTORIZED_TABLE_H_
+#pragma once
 
 #include <vector>
 
@@ -192,5 +191,3 @@ class MorpheusReference {
 
 }  // namespace factorized
 }  // namespace amalur
-
-#endif  // AMALUR_FACTORIZED_FACTORIZED_TABLE_H_

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/status.h"
 #include "relational/join.h"
 
 namespace amalur {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_FACTORIZED_SCENARIO_BUILDER_H_
-#define AMALUR_FACTORIZED_SCENARIO_BUILDER_H_
+#pragma once
 
 #include "common/status.h"
 #include "integration/schema_mapping.h"
@@ -50,5 +49,3 @@ Result<metadata::DiMetadata> DeriveConformedSnowflakeMetadata(
 
 }  // namespace factorized
 }  // namespace amalur
-
-#endif  // AMALUR_FACTORIZED_SCENARIO_BUILDER_H_

@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace amalur {
 namespace federated {

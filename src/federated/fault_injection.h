@@ -1,5 +1,4 @@
-#ifndef AMALUR_FEDERATED_FAULT_INJECTION_H_
-#define AMALUR_FEDERATED_FAULT_INJECTION_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -273,5 +272,3 @@ Result<std::vector<uint64_t>> TransferCiphertextWords(
 
 }  // namespace federated
 }  // namespace amalur
-
-#endif  // AMALUR_FEDERATED_FAULT_INJECTION_H_

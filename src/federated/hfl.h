@@ -1,5 +1,4 @@
-#ifndef AMALUR_FEDERATED_HFL_H_
-#define AMALUR_FEDERATED_HFL_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -89,5 +88,3 @@ Result<std::vector<HflPartition>> AlignForHfl(
 
 }  // namespace federated
 }  // namespace amalur
-
-#endif  // AMALUR_FEDERATED_HFL_H_

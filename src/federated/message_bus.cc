@@ -1,6 +1,8 @@
 #include "federated/message_bus.h"
 
 #include "common/logging.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace amalur {
 namespace federated {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_FEDERATED_MESSAGE_BUS_H_
-#define AMALUR_FEDERATED_MESSAGE_BUS_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -153,5 +152,3 @@ class MessageBus {
 
 }  // namespace federated
 }  // namespace amalur
-
-#endif  // AMALUR_FEDERATED_MESSAGE_BUS_H_

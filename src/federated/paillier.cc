@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace amalur {
 namespace federated {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_FEDERATED_PAILLIER_H_
-#define AMALUR_FEDERATED_PAILLIER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -97,5 +96,3 @@ bool IsPrime64(uint64_t value);
 
 }  // namespace federated
 }  // namespace amalur
-
-#endif  // AMALUR_FEDERATED_PAILLIER_H_

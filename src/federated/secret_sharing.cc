@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace amalur {
 namespace federated {

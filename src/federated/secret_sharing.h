@@ -1,5 +1,4 @@
-#ifndef AMALUR_FEDERATED_SECRET_SHARING_H_
-#define AMALUR_FEDERATED_SECRET_SHARING_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -58,5 +57,3 @@ class AdditiveSecretSharing {
 
 }  // namespace federated
 }  // namespace amalur
-
-#endif  // AMALUR_FEDERATED_SECRET_SHARING_H_

@@ -4,6 +4,7 @@
 
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "federated/paillier.h"
 #include "ml/metrics.h"
 

@@ -1,5 +1,4 @@
-#ifndef AMALUR_FEDERATED_VFL_H_
-#define AMALUR_FEDERATED_VFL_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -156,5 +155,3 @@ Result<VflAlignment> AlignForVfl(const metadata::DiMetadata& metadata,
 
 }  // namespace federated
 }  // namespace amalur
-
-#endif  // AMALUR_FEDERATED_VFL_H_

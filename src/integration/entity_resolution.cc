@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "common/string_util.h"
 
 namespace amalur {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_INTEGRATION_ENTITY_RESOLUTION_H_
-#define AMALUR_INTEGRATION_ENTITY_RESOLUTION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,5 +63,3 @@ double DuplicateRatio(const rel::Table& table, const std::vector<size_t>& column
 
 }  // namespace integration
 }  // namespace amalur
-
-#endif  // AMALUR_INTEGRATION_ENTITY_RESOLUTION_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_INTEGRATION_RUNNING_EXAMPLE_H_
-#define AMALUR_INTEGRATION_RUNNING_EXAMPLE_H_
+#pragma once
 
 #include "integration/schema_mapping.h"
 #include "relational/join.h"
@@ -34,5 +33,3 @@ la::DenseMatrix RunningExampleTargetMatrix();
 
 }  // namespace integration
 }  // namespace amalur
-
-#endif  // AMALUR_INTEGRATION_RUNNING_EXAMPLE_H_

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "common/status.h"
+
 namespace amalur {
 namespace integration {
 

@@ -1,5 +1,4 @@
-#ifndef AMALUR_INTEGRATION_SCHEMA_MAPPING_H_
-#define AMALUR_INTEGRATION_SCHEMA_MAPPING_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -107,5 +106,3 @@ class SchemaMapping {
 
 }  // namespace integration
 }  // namespace amalur
-
-#endif  // AMALUR_INTEGRATION_SCHEMA_MAPPING_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_INTEGRATION_SCHEMA_MATCHING_H_
-#define AMALUR_INTEGRATION_SCHEMA_MATCHING_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -50,5 +49,3 @@ std::vector<ColumnMatch> MatchSchemas(const rel::Table& left,
 
 }  // namespace integration
 }  // namespace amalur
-
-#endif  // AMALUR_INTEGRATION_SCHEMA_MATCHING_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_INTEGRATION_TGD_H_
-#define AMALUR_INTEGRATION_TGD_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -66,5 +65,3 @@ class Tgd {
 
 }  // namespace integration
 }  // namespace amalur
-
-#endif  // AMALUR_INTEGRATION_TGD_H_

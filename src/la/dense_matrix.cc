@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/parallel_for.h"
+#include "common/rng.h"
 
 namespace amalur {
 namespace la {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_LA_DENSE_MATRIX_H_
-#define AMALUR_LA_DENSE_MATRIX_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -154,5 +153,3 @@ class DenseMatrix {
 
 }  // namespace la
 }  // namespace amalur
-
-#endif  // AMALUR_LA_DENSE_MATRIX_H_

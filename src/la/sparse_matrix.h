@@ -1,5 +1,4 @@
-#ifndef AMALUR_LA_SPARSE_MATRIX_H_
-#define AMALUR_LA_SPARSE_MATRIX_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -104,5 +103,3 @@ class SparseMatrix {
 
 }  // namespace la
 }  // namespace amalur
-
-#endif  // AMALUR_LA_SPARSE_MATRIX_H_

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/status.h"
 #include "integration/entity_resolution.h"
 
 namespace amalur {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_METADATA_DI_METADATA_H_
-#define AMALUR_METADATA_DI_METADATA_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -255,5 +254,3 @@ class DiMetadata {
 
 }  // namespace metadata
 }  // namespace amalur
-
-#endif  // AMALUR_METADATA_DI_METADATA_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_METADATA_INDICATOR_MATRIX_H_
-#define AMALUR_METADATA_INDICATOR_MATRIX_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -62,5 +61,3 @@ class CompressedIndicator {
 
 }  // namespace metadata
 }  // namespace amalur
-
-#endif  // AMALUR_METADATA_INDICATOR_MATRIX_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_METADATA_MAPPING_MATRIX_H_
-#define AMALUR_METADATA_MAPPING_MATRIX_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -64,5 +63,3 @@ class CompressedMapping {
 
 }  // namespace metadata
 }  // namespace amalur
-
-#endif  // AMALUR_METADATA_MAPPING_MATRIX_H_

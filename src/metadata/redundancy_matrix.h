@@ -1,5 +1,4 @@
-#ifndef AMALUR_METADATA_REDUNDANCY_MATRIX_H_
-#define AMALUR_METADATA_REDUNDANCY_MATRIX_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -86,5 +85,3 @@ class RedundancyMask {
 
 }  // namespace metadata
 }  // namespace amalur
-
-#endif  // AMALUR_METADATA_REDUNDANCY_MATRIX_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_ML_GNMF_H_
-#define AMALUR_ML_GNMF_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -39,5 +38,3 @@ GnmfModel TrainGnmf(const TrainingMatrix& data, const GnmfOptions& options);
 
 }  // namespace ml
 }  // namespace amalur
-
-#endif  // AMALUR_ML_GNMF_H_

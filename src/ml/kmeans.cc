@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace amalur {
 namespace ml {

@@ -1,5 +1,4 @@
-#ifndef AMALUR_ML_KMEANS_H_
-#define AMALUR_ML_KMEANS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -41,5 +40,3 @@ KMeansModel TrainKMeans(const TrainingMatrix& data, const KMeansOptions& options
 
 }  // namespace ml
 }  // namespace amalur
-
-#endif  // AMALUR_ML_KMEANS_H_

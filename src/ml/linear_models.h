@@ -1,5 +1,4 @@
-#ifndef AMALUR_ML_LINEAR_MODELS_H_
-#define AMALUR_ML_LINEAR_MODELS_H_
+#pragma once
 
 #include <vector>
 
@@ -53,5 +52,3 @@ la::DenseMatrix PredictLogistic(const TrainingMatrix& features,
 
 }  // namespace ml
 }  // namespace amalur
-
-#endif  // AMALUR_ML_LINEAR_MODELS_H_

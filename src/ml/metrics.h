@@ -1,5 +1,4 @@
-#ifndef AMALUR_ML_METRICS_H_
-#define AMALUR_ML_METRICS_H_
+#pragma once
 
 #include "la/dense_matrix.h"
 
@@ -26,5 +25,3 @@ la::DenseMatrix Sigmoid(const la::DenseMatrix& x);
 
 }  // namespace ml
 }  // namespace amalur
-
-#endif  // AMALUR_ML_METRICS_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_ML_TRAINING_MATRIX_H_
-#define AMALUR_ML_TRAINING_MATRIX_H_
+#pragma once
 
 #include <memory>
 
@@ -133,5 +132,3 @@ class FactorizedFeatures : public TrainingMatrix {
 
 }  // namespace ml
 }  // namespace amalur
-
-#endif  // AMALUR_ML_TRAINING_MATRIX_H_

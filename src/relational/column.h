@@ -1,5 +1,4 @@
-#ifndef AMALUR_RELATIONAL_COLUMN_H_
-#define AMALUR_RELATIONAL_COLUMN_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -91,5 +90,3 @@ class Column {
 
 }  // namespace rel
 }  // namespace amalur
-
-#endif  // AMALUR_RELATIONAL_COLUMN_H_

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/status.h"
 #include "common/string_util.h"
 
 namespace amalur {

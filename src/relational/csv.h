@@ -1,5 +1,4 @@
-#ifndef AMALUR_RELATIONAL_CSV_H_
-#define AMALUR_RELATIONAL_CSV_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -39,5 +38,3 @@ Status WriteCsvFile(const Table& table, const std::string& path,
 
 }  // namespace rel
 }  // namespace amalur
-
-#endif  // AMALUR_RELATIONAL_CSV_H_

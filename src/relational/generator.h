@@ -1,5 +1,4 @@
-#ifndef AMALUR_RELATIONAL_GENERATOR_H_
-#define AMALUR_RELATIONAL_GENERATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -184,5 +183,3 @@ Table GenerateTable(const std::string& name, size_t rows, size_t features,
 
 }  // namespace rel
 }  // namespace amalur
-
-#endif  // AMALUR_RELATIONAL_GENERATOR_H_

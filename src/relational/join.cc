@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/status.h"
+
 namespace amalur {
 namespace rel {
 

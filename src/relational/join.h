@@ -1,5 +1,4 @@
-#ifndef AMALUR_RELATIONAL_JOIN_H_
-#define AMALUR_RELATIONAL_JOIN_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -76,5 +75,3 @@ Result<JoinResult> UnionAll(const Table& left, const Table& right,
 
 }  // namespace rel
 }  // namespace amalur
-
-#endif  // AMALUR_RELATIONAL_JOIN_H_

@@ -1,5 +1,4 @@
-#ifndef AMALUR_RELATIONAL_SCHEMA_H_
-#define AMALUR_RELATIONAL_SCHEMA_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -62,5 +61,3 @@ class Schema {
 
 }  // namespace rel
 }  // namespace amalur
-
-#endif  // AMALUR_RELATIONAL_SCHEMA_H_

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/status.h"
+
 namespace amalur {
 namespace rel {
 

@@ -1,5 +1,4 @@
-#ifndef AMALUR_RELATIONAL_TABLE_H_
-#define AMALUR_RELATIONAL_TABLE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -92,5 +91,3 @@ class Table {
 
 }  // namespace rel
 }  // namespace amalur
-
-#endif  // AMALUR_RELATIONAL_TABLE_H_

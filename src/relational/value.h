@@ -1,5 +1,4 @@
-#ifndef AMALUR_RELATIONAL_VALUE_H_
-#define AMALUR_RELATIONAL_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -74,5 +73,3 @@ class Value {
 
 }  // namespace rel
 }  // namespace amalur
-
-#endif  // AMALUR_RELATIONAL_VALUE_H_

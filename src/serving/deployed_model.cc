@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/parallel_for.h"
+#include "common/span.h"
+#include "common/status.h"
 #include "ml/metrics.h"
 #include "ml/training_matrix.h"
 

@@ -1,5 +1,4 @@
-#ifndef AMALUR_SERVING_DEPLOYED_MODEL_H_
-#define AMALUR_SERVING_DEPLOYED_MODEL_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -155,5 +154,3 @@ class DeployedModel {
 
 }  // namespace serving
 }  // namespace amalur
-
-#endif  // AMALUR_SERVING_DEPLOYED_MODEL_H_

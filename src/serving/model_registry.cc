@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
 namespace amalur {
 namespace serving {
 

@@ -1,5 +1,4 @@
-#ifndef AMALUR_SERVING_MODEL_REGISTRY_H_
-#define AMALUR_SERVING_MODEL_REGISTRY_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -77,5 +76,3 @@ class ModelRegistry {
 
 }  // namespace serving
 }  // namespace amalur
-
-#endif  // AMALUR_SERVING_MODEL_REGISTRY_H_

@@ -4,17 +4,22 @@
 Rules (each can be silenced per line with `// NOLINT(amalur-<rule>): <reason>`;
 the reason is mandatory — a bare NOLINT is itself a finding):
 
-  raw-mutex            src/ must not use std::mutex / std::shared_mutex /
-                       their guards / std::condition_variable directly. Only
-                       the capability-annotated wrappers in
+  raw-mutex            src/, bench/, and examples/ must not use std::mutex /
+                       std::shared_mutex / their guards /
+                       std::condition_variable directly. Only the
+                       capability-annotated wrappers in
                        src/common/thread_annotations.h carry the Clang
                        thread-safety annotations the CI gate checks, so raw
                        primitives would silently escape the analysis.
-  wall-clock           src/ must not call rand()/srand(), std::random_device,
+  wall-clock           src/, bench/, and examples/ must not call
+                       rand()/srand(), std::random_device,
                        sleep_for/sleep_until/usleep/sleep. Randomness goes
                        through seeded common::Rng, waiting through simulated
                        time — both are load-bearing for bitwise-reproducible
                        runs (and for chaos tests that replay fault streams).
+                       Benchmarks are no exception: a sleeping or
+                       nondeterministic benchmark cannot feed the cost-model
+                       calibration.
   unordered-iteration  Kernel hot paths (src/la, src/factorized, src/ml,
                        src/metadata) must not iterate unordered containers:
                        iteration order is unspecified, so a reduction fed by
@@ -27,9 +32,17 @@ the reason is mandatory — a bare NOLINT is itself a finding):
                        run. CMakeLists.txt must keep the per-suite
                        registration block.
 
+Deeper architecture checks (layering DAG, lock-order graph, include hygiene)
+live in the tools/analysis package; this linter shares its C++ lexer
+(tools/analysis/cpp_source.py), so raw string literals, comments, and NOLINT
+parsing behave identically in both tools.
+
 Usage:
-  tools/amalur_lint.py [--root DIR]   lint a repo rooted at DIR (default: the
-                                      repo containing this script)
+  tools/amalur_lint.py [--root DIR] [--github]
+                                      lint a repo rooted at DIR (default: the
+                                      repo containing this script); --github
+                                      adds problem-matcher annotations
+                                      (auto-enabled under GITHUB_ACTIONS)
   tools/amalur_lint.py --self-test    run the fixture-based self-tests
 
 Exit status: 0 = clean, 1 = findings (or self-test failure).
@@ -40,8 +53,19 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "analysis"))
+
+from cpp_source import nolint_rules as shared_nolint_rules
+from cpp_source import strip_comments  # noqa: F401  (re-exported for tests)
+from findings import Finding, github_mode, report
+
 KERNEL_DIRS = ("src/la", "src/factorized", "src/ml", "src/metadata")
 RAW_MUTEX_EXEMPT = ("src/common/thread_annotations.h",)
+# Trees scanned for source rules: tests/ is exempt (tests may exercise raw
+# primitives to race the wrappers themselves), everything else is not.
+SOURCE_TREES = ("src", "bench", "examples")
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
 
 RAW_MUTEX_RE = re.compile(
     r"std::(?:recursive_|timed_|recursive_timed_)?(?:shared_)?mutex\b"
@@ -54,91 +78,15 @@ WALL_CLOCK_RE = re.compile(
     r"|(?<![\w:])u?sleep\s*\(")
 UNORDERED_DECL_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;({]*?>\s+(\w+)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*\*?(\w+)\s*\)")
-NOLINT_RE = re.compile(r"//\s*NOLINT\(amalur-([\w-]+)\)(:?)\s*(\S?)")
-
-
-class Finding:
-    def __init__(self, rule, path, line, message):
-        self.rule = rule
-        self.path = path
-        self.line = line
-        self.message = message
-
-    def __str__(self):
-        where = f"{self.path}:{self.line}" if self.line else self.path
-        return f"{where}: [amalur-{self.rule}] {self.message}"
-
-
-def strip_comments(text):
-    """Blanks out // and /* */ comments and string/char literals, preserving
-    line structure, so commented or quoted mentions of a forbidden token do
-    not trip a rule. NOLINT directives are read from the raw line instead."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line | block | str | chr
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "str"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "chr"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("str", "chr"):
-            quote = '"' if state == "str" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-            out.append(c if c == "\n" else " ")
-        i += 1
-    return "".join(out)
 
 
 def nolint_rules(raw_line, findings, path, lineno):
     """Rules silenced on this line. A NOLINT without a reason is a finding."""
-    silenced = set()
-    for m in NOLINT_RE.finditer(raw_line):
-        rule, colon, reason_head = m.group(1), m.group(2), m.group(3)
-        if not colon or not reason_head:
-            findings.append(Finding(
-                "nolint-reason", path, lineno,
-                f"NOLINT(amalur-{rule}) needs a reason: "
-                f"`// NOLINT(amalur-{rule}): <why this is safe>`"))
-        silenced.add(rule)
-    return silenced
+    return shared_nolint_rules(
+        raw_line, lambda rule: findings.append(Finding(
+            "nolint-reason", path, lineno,
+            f"NOLINT(amalur-{rule}) needs a reason: "
+            f"`// NOLINT(amalur-{rule}): <why this is safe>`")))
 
 
 def scan_pattern(rel, raw_lines, code_lines, rule, regex, message,
@@ -229,11 +177,13 @@ def lint_tests_tree(root, findings):
 
 def lint_repo(root):
     findings = []
-    src_dir = os.path.join(root, "src")
-    if os.path.isdir(src_dir):
-        for dirpath, _, filenames in os.walk(src_dir):
+    for tree in SOURCE_TREES:
+        tree_dir = os.path.join(root, tree)
+        if not os.path.isdir(tree_dir):
+            continue
+        for dirpath, _, filenames in os.walk(tree_dir):
             for name in sorted(filenames):
-                if not name.endswith((".h", ".cc")):
+                if not name.endswith(SOURCE_EXTENSIONS):
                     continue
                 rel = os.path.relpath(os.path.join(dirpath, name), root)
                 rel = rel.replace(os.sep, "/")
@@ -290,6 +240,9 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
                         help="repo root to lint (default: this repo)")
+    parser.add_argument("--github", action="store_true",
+                        help="also emit GitHub problem-matcher annotations "
+                             "(auto-enabled under GITHUB_ACTIONS)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the fixture-based self-tests and exit")
     args = parser.parse_args()
@@ -300,8 +253,7 @@ def main():
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     findings = lint_repo(root)
-    for finding in findings:
-        print(finding)
+    report(findings, github_mode(args.github))
     if findings:
         print(f"amalur_lint: {len(findings)} finding(s)")
         return 1

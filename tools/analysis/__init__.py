@@ -1,0 +1,4 @@
+"""Architecture conformance analyses for the amalur repo.
+
+Run as a directory (`python3 tools/analysis`) — see __main__.py.
+"""

@@ -1,0 +1,47 @@
+"""Finding type and reporting for the architecture conformance analyses.
+
+Findings print as `path:line: [amalur-<rule>] message` for humans and,
+when GitHub problem-matcher output is enabled (--github or GITHUB_ACTIONS),
+additionally as `::error file=...,line=...::...` workflow commands so CI
+violations annotate the PR diff directly.
+"""
+
+import os
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [amalur-{self.rule}] {self.message}"
+
+    def github_annotation(self):
+        # Workflow-command escaping: the message ends the command at a bare
+        # newline, and %/CR/LF have percent escapes.
+        msg = (f"[amalur-{self.rule}] {self.message}"
+               .replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A"))
+        line = self.line if self.line else 1
+        return f"::error file={self.path},line={line}::{msg}"
+
+
+def github_mode(flag):
+    """Problem-matcher output is on when asked for explicitly or when running
+    inside a GitHub Actions job."""
+    return flag or os.environ.get("GITHUB_ACTIONS") == "true"
+
+
+def report(findings, use_github):
+    findings = sorted(findings, key=Finding.sort_key)
+    for finding in findings:
+        print(finding)
+        if use_github:
+            print(finding.github_annotation())
+    return findings

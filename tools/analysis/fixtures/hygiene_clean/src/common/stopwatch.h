@@ -1,0 +1,7 @@
+#pragma once
+
+#include <chrono>
+
+namespace common {
+class Stopwatch {};
+}  // namespace common

@@ -1,0 +1,9 @@
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace common {
+class Mutex {};
+class MutexLock {};
+}  // namespace common

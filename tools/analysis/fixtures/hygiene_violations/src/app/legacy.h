@@ -1,0 +1,8 @@
+#ifndef APP_LEGACY_H_
+#define APP_LEGACY_H_
+
+namespace app {
+int Old();
+}  // namespace app
+
+#endif  // APP_LEGACY_H_

@@ -1,0 +1,17 @@
+#include <mutex>
+#include <random>
+
+#include "app/impl.cc"
+#include "app/legacy.h"
+
+namespace app {
+
+common::Status Bad() {
+  const char* doc = R"(a raw string with a " quote and a Mutex mention)";
+  const char* tag = "a quoted SharedMutex is not a use either";
+  (void)doc;
+  (void)tag;
+  return common::Status();
+}
+
+}  // namespace app

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace orphan {
+int Lost();
+}  // namespace orphan

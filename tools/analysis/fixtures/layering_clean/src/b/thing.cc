@@ -1,0 +1,7 @@
+#include "b/thing.h"
+
+#include "a/util.h"
+
+namespace b {
+int Use() { return a::Twice(2); }
+}  // namespace b

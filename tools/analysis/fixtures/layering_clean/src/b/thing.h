@@ -1,0 +1,7 @@
+#pragma once
+
+#include "a/util.h"
+
+namespace b {
+int Use();
+}  // namespace b

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace a {
+int Twice(int x);
+}  // namespace a

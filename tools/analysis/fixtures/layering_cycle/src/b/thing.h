@@ -1,0 +1,5 @@
+#pragma once
+
+namespace b {
+int Use();
+}  // namespace b

@@ -1,0 +1,7 @@
+#include "a/util.h"
+
+#include "b/thing.h"
+
+namespace a {
+int Backwards() { return 1; }
+}  // namespace a

@@ -1,0 +1,5 @@
+#include "a/util.h"
+
+namespace c {
+int Lean() { return a::Twice(3); }
+}  // namespace c

@@ -1,0 +1,17 @@
+#include "a/widget.h"
+
+#include "common/thread_annotations.h"
+
+namespace a {
+
+void Widget::Tick() {
+  common::MutexLock lock(mu_);
+  common::MutexLock io(io_mu_);
+}
+
+void Widget::Tock() {
+  common::MutexLock lock(mu_);
+  common::MutexLock io(io_mu_);
+}
+
+}  // namespace a

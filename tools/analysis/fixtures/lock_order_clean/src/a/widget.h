@@ -1,0 +1,17 @@
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace a {
+
+class Widget {
+ public:
+  void Tick();
+  void Tock();
+
+ private:
+  common::Mutex mu_;
+  common::Mutex io_mu_;
+};
+
+}  // namespace a

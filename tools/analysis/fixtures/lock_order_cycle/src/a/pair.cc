@@ -1,0 +1,25 @@
+#include "a/pair.h"
+
+#include "common/thread_annotations.h"
+
+namespace a {
+
+void Left::Foo() {
+  common::MutexLock lock(mu_);
+  partner_->Poke();
+}
+
+void Left::Touch() {
+  common::MutexLock lock(mu_);
+}
+
+void Right::Poke() {
+  common::MutexLock lock(mu_);
+}
+
+void Right::Drain() {
+  common::MutexLock lock(mu_);
+  partner_->Touch();
+}
+
+}  // namespace a

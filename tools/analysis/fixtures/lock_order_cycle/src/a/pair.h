@@ -1,0 +1,29 @@
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace a {
+
+class Right;
+
+class Left {
+ public:
+  void Foo();
+  void Touch();
+
+ private:
+  Right* partner_ = nullptr;
+  common::Mutex mu_;
+};
+
+class Right {
+ public:
+  void Poke();
+  void Drain();
+
+ private:
+  Left* partner_ = nullptr;
+  common::Mutex mu_;
+};
+
+}  // namespace a

@@ -1,0 +1,16 @@
+#include "a/reenter.h"
+
+#include "common/thread_annotations.h"
+
+namespace a {
+
+void Counter::Bump() {
+  common::MutexLock lock(mu_);
+  Helper();
+}
+
+void Counter::Helper() {
+  common::MutexLock lock(mu_);
+}
+
+}  // namespace a

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace a {
+
+class Counter {
+ public:
+  void Bump();
+  void Helper();
+
+ private:
+  common::Mutex mu_;
+};
+
+}  // namespace a

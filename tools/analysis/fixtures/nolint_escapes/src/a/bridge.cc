@@ -1,0 +1,13 @@
+#include "a/gen.h"
+
+#include "b/other.h"  // NOLINT(amalur-layering): legacy bridge, removal tracked in the serving split
+
+namespace a {
+
+int Bridge() {
+  common::Status s;  // NOLINT(amalur-iwyu): status.h arrives via gen.h by design here
+  (void)s;
+  return 0;
+}
+
+}  // namespace a

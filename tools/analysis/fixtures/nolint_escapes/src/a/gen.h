@@ -1,0 +1,9 @@
+// NOLINT(amalur-pragma-once): generated header, guard emitted by the tool
+#ifndef A_GEN_H_
+#define A_GEN_H_
+
+namespace a {
+int Gen();
+}  // namespace a
+
+#endif  // A_GEN_H_

@@ -1,0 +1,7 @@
+#pragma once
+
+#include <random>  // NOLINT(amalur-forbidden-include)
+
+namespace b {
+int Other();
+}  // namespace b

@@ -1,0 +1,21 @@
+#include "b/other.h"
+
+#include "common/thread_annotations.h"
+
+namespace b {
+
+class Fan {
+ public:
+  void Go();
+
+ private:
+  common::ThreadPool* pool_ = nullptr;
+  common::Mutex mu_;
+};
+
+void Fan::Go() {
+  common::MutexLock lock(mu_);
+  pool_->ParallelFor(0, 4, [](size_t i) { (void)i; });  // NOLINT(amalur-pool-under-lock): tasks only read a frozen snapshot
+}
+
+}  // namespace b

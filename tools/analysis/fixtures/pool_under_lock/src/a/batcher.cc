@@ -1,0 +1,21 @@
+#include "a/batcher.h"
+
+#include "common/thread_annotations.h"
+
+namespace a {
+
+void Batcher::Flush() {
+  common::MutexLock lock(mu_);
+  pool_->ParallelFor(0, 8, [](size_t i) { (void)i; });
+}
+
+void Batcher::Rebuild() {
+  common::MutexLock lock(mu_);
+  FanOut();
+}
+
+void Batcher::FanOut() {
+  pool_->RunChunks(16, [](size_t lo, size_t hi) { (void)lo; (void)hi; });
+}
+
+}  // namespace a

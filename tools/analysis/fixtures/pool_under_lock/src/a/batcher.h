@@ -1,0 +1,22 @@
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace common {
+class ThreadPool;
+}  // namespace common
+
+namespace a {
+
+class Batcher {
+ public:
+  void Flush();
+  void Rebuild();
+  void FanOut();
+
+ private:
+  common::ThreadPool* pool_ = nullptr;
+  common::Mutex mu_;
+};
+
+}  // namespace a

@@ -1,0 +1,172 @@
+"""Layering-DAG conformance: the committed tools/analysis/layering.json is
+the architectural authority on which src/ module may include which.
+
+Rules:
+  layering-config  the declaration itself is broken — unreadable JSON, an
+                   edge naming an unknown module, a src/ directory missing
+                   from "modules", or a cycle in the *declared* graph (the
+                   allowlist must stay a DAG or it allows everything).
+  layering         a real `#include` crosses module boundaries along an edge
+                   the declaration does not allow, or the *actual* include
+                   graph contains a module cycle. Findings carry the
+                   file:line of the offending include.
+
+Escape hatch: `// NOLINT(amalur-layering): <reason>` on the include line.
+
+The pass also renders the measured graph as deps.json + deps.dot (uploaded
+as CI artifacts) so the architecture diagram in the README can never drift
+from what the code does.
+"""
+
+import json
+import os
+
+from cpp_source import nolint_rules
+from findings import Finding
+from include_graph import extract_edges, find_cycle, module_graph
+
+CONFIG_LOCATIONS = ("tools/analysis/layering.json", "layering.json")
+
+
+def load_config(root, findings):
+    for rel in CONFIG_LOCATIONS:
+        path = os.path.join(root, rel)
+        if not os.path.isfile(path):
+            continue
+        try:
+            with open(path, encoding="utf-8") as f:
+                return json.load(f), rel
+        except (OSError, json.JSONDecodeError) as err:
+            findings.append(Finding("layering-config", rel, 0,
+                                    f"cannot load layering declaration: {err}"))
+            return None, rel
+    findings.append(Finding(
+        "layering-config", CONFIG_LOCATIONS[0], 0,
+        "missing layering declaration: commit the allowed module-dependency "
+        "edges (see tools/analysis/layering.json)"))
+    return None, None
+
+
+def validate_config(config, config_rel, src_modules, findings):
+    """Checks the declaration itself: known modules, DAG, full coverage."""
+    modules = config.get("modules")
+    edges = config.get("edges")
+    if not isinstance(modules, list) or not isinstance(edges, dict):
+        findings.append(Finding(
+            "layering-config", config_rel, 0,
+            'declaration needs "modules" (list) and "edges" '
+            '(module -> [allowed dependencies])'))
+        return None
+    module_set = set(modules)
+    ok = True
+    for module, deps in sorted(edges.items()):
+        for name in [module] + list(deps):
+            if name not in module_set:
+                findings.append(Finding(
+                    "layering-config", config_rel, 0,
+                    f'edge entry "{module}" -> {sorted(deps)} names unknown '
+                    f'module "{name}" (not in "modules")'))
+                ok = False
+    for module in sorted(src_modules - module_set):
+        findings.append(Finding(
+            "layering-config", config_rel, 0,
+            f'src/{module}/ exists but is not declared in "modules" — every '
+            "module must have a declared place in the layering"))
+        ok = False
+    cycle = find_cycle(module_set, {m: set(d) for m, d in edges.items()})
+    if cycle:
+        findings.append(Finding(
+            "layering-config", config_rel, 0,
+            "declared layering contains a cycle: " + " -> ".join(cycle) +
+            " — the allowlist must be a DAG"))
+        ok = False
+    return {m: set(edges.get(m, ())) for m in module_set} if ok else None
+
+
+def check(root, sources, findings, report_dir=None):
+    src_modules = {f.rel.split("/")[1] for f in sources
+                   if f.rel.startswith("src/") and f.rel.count("/") >= 2}
+    config, config_rel = load_config(root, findings)
+    if config is None:
+        return
+    allowed = validate_config(config, config_rel, src_modules, findings)
+    if allowed is None:
+        return
+
+    edges = extract_edges(sources)
+    graph = module_graph(edges)
+    by_file = {f.rel: f for f in sources}
+
+    actual = {}
+    for (a, b), includes in sorted(graph.items()):
+        actual.setdefault(a, set()).add(b)
+        if b in allowed.get(a, ()):
+            continue
+        for include in includes:
+            raw = by_file[include.from_file].raw_lines[include.line - 1]
+            silenced = nolint_rules(
+                raw, lambda rule, inc=include: findings.append(Finding(
+                    "nolint-reason", inc.from_file, inc.line,
+                    f"NOLINT(amalur-{rule}) needs a reason: "
+                    f"`// NOLINT(amalur-{rule}): <why this is safe>`")))
+            if "layering" in silenced:
+                continue
+            findings.append(Finding(
+                "layering", include.from_file, include.line,
+                f'include of "{include.to_path}" creates the undeclared '
+                f"module dependency {a} -> {b}; either the include is an "
+                f"architecture violation, or the edge belongs in "
+                f"{config_rel} with a written justification"))
+
+    cycle = find_cycle(set(actual) | {b for bs in actual.values() for b in bs},
+                       actual)
+    if cycle:
+        findings.append(Finding(
+            "layering", "src", 0,
+            "module include graph contains a cycle: " + " -> ".join(cycle) +
+            " — the build only stays layerable while this graph is a DAG"))
+
+    if report_dir:
+        write_reports(report_dir, config, graph, src_modules)
+
+
+def write_reports(report_dir, config, graph, src_modules):
+    """deps.json (machine-readable) + deps.dot (GraphViz) for CI artifacts."""
+    os.makedirs(report_dir, exist_ok=True)
+    module_edges = [
+        {"from": a, "to": b, "includes": len(includes)}
+        for (a, b), includes in sorted(graph.items())]
+    file_edges = [
+        {"from": e.from_file, "line": e.line, "to": "src/" + e.to_path}
+        for includes in graph.values() for e in includes]
+    file_edges.sort(key=lambda d: (d["from"], d["line"]))
+    with open(os.path.join(report_dir, "deps.json"), "w",
+              encoding="utf-8") as f:
+        json.dump({
+            "modules": sorted(src_modules),
+            "declared_edges": {m: sorted(d) for m, d in
+                               sorted(config.get("edges", {}).items())},
+            "module_edges": module_edges,
+            "file_edges": file_edges,
+        }, f, indent=2)
+        f.write("\n")
+    with open(os.path.join(report_dir, "deps.dot"), "w",
+              encoding="utf-8") as f:
+        f.write(render_dot(module_edges, sorted(src_modules)))
+
+
+def render_dot(module_edges, modules):
+    lines = [
+        "// Generated by tools/analysis (layering pass). Module-level include",
+        "// graph of src/; edge labels count #include sites.",
+        "digraph amalur_modules {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for module in modules:
+        lines.append(f"  {module};")
+    for edge in module_edges:
+        lines.append(f'  {edge["from"]} -> {edge["to"]} '
+                     f'[label="{edge["includes"]}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

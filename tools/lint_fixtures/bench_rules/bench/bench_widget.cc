@@ -1,0 +1,8 @@
+#include "common/thread_annotations.h"
+
+int main() {
+  std::mutex raw_in_bench;            // raw-mutex: benches are not exempt
+  std::this_thread::sleep_for(x);     // wall-clock: a sleeping bench lies
+  (void)raw_in_bench;
+  return 0;
+}

@@ -1,0 +1,7 @@
+#include <cstdlib>
+
+int main() {
+  int noise = rand();                 // wall-clock: unseeded randomness
+  (void)noise;
+  return 0;
+}

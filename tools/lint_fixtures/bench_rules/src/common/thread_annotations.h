@@ -1,0 +1,8 @@
+#pragma once
+
+#include <mutex>
+
+namespace common {
+class Mutex {};
+class MutexLock {};
+}  // namespace common

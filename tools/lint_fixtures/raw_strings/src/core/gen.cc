@@ -1,0 +1,13 @@
+namespace core {
+
+// The R"(...)" below contains an unmatched double quote. A lexer without a
+// raw-string state treats it as reopening an ordinary string literal and
+// blanks the REST OF THE FILE as "inside a string" — hiding the std::mutex
+// on the next line. It must still be found.
+const char* kDoc = R"(an embedded " quote, plus a decoy std::mutex mention)";
+std::mutex after_raw_string;  // raw-mutex: must stay visible
+
+const char* kDelim = R"html(more " quotes " here)html";
+const char* kPlain = "a quoted std::mutex is not a use";
+
+}  // namespace core
